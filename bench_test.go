@@ -1,0 +1,240 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V). Each benchmark runs the corresponding experiment and reports the
+// headline values as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. The absolute numbers differ from the
+// paper's 800 MHz ARM testbed (see DESIGN.md §1 for the substitutions); the
+// reported ratios and shapes are the reproduction targets, recorded against
+// the paper in EXPERIMENTS.md. cmd/zc-experiments prints the same data as
+// paper-style tables with larger run budgets.
+package zugchain_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"zugchain/internal/experiments"
+	"zugchain/internal/netsim"
+	"zugchain/internal/testbed"
+)
+
+// benchOptions keeps benchmark runtime moderate; zc-experiments uses
+// longer runs.
+func benchOptions() experiments.Options {
+	return experiments.Options{Cycles: 60, TimeScale: 8, Seed: 1}
+}
+
+// reportComparison publishes the ZugChain-vs-baseline ratios the paper
+// reports: network (≈4x), latency (1.1–4.9x), CPU (baseline ≈3–4x), memory
+// (≈1.6–1.8x).
+func reportComparison(b *testing.B, rows []experiments.ComparisonRow) {
+	b.Helper()
+	if len(rows) == 0 {
+		b.Fatal("no rows")
+	}
+	var net, lat, cpu, mem float64
+	for _, r := range rows {
+		net += r.NetRatio
+		lat += r.LatRatio
+		cpu += r.CPURatio
+		mem += r.HeapRatio
+	}
+	n := float64(len(rows))
+	b.ReportMetric(net/n, "net-ratio")
+	b.ReportMetric(lat/n, "lat-ratio")
+	b.ReportMetric(cpu/n, "cpu-ratio")
+	b.ReportMetric(mem/n, "mem-ratio")
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.ZugChain.Latency.Median.Microseconds()), "zc-lat-us")
+}
+
+// BenchmarkFig6BusCycles reproduces Fig 6 (left): network utilization and
+// latency for bus cycles 32–256 ms at 1 kB payloads, ZugChain vs baseline.
+func BenchmarkFig6BusCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6BusCycles(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, rows)
+	}
+}
+
+// BenchmarkFig6Payloads reproduces Fig 6 (right): payload sizes 32 B – 8 kB
+// at the 64 ms bus cycle.
+func BenchmarkFig6Payloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6Payloads(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, rows)
+	}
+}
+
+// BenchmarkFig7BusCycles reproduces Fig 7 (left): the CPU and memory
+// proxies over the bus-cycle sweep.
+func BenchmarkFig7BusCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7BusCycles(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, rows)
+	}
+}
+
+// BenchmarkFig7Payloads reproduces Fig 7 (right): resources over the
+// payload sweep.
+func BenchmarkFig7Payloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7Payloads(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, rows)
+	}
+}
+
+// BenchmarkFig8ViewChange reproduces Fig 8: request latency through a view
+// change for both systems, at real time scale (soft+hard 250 ms each for
+// ZugChain, one-shot 500 ms for the baseline).
+func BenchmarkFig8ViewChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := experiments.Options{Cycles: 120, TimeScale: 1, Seed: 1}
+		zc, err := experiments.Fig8(testbed.ZugChain, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl, err := experiments.Fig8(testbed.Baseline, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(zc.RecoveredAfter.Milliseconds()), "zc-recover-ms")
+		b.ReportMetric(float64(bl.RecoveredAfter.Milliseconds()), "bl-recover-ms")
+		b.ReportMetric(float64(zc.WorstLatency.Milliseconds()), "zc-worst-ms")
+		b.ReportMetric(float64(bl.WorstLatency.Milliseconds()), "bl-worst-ms")
+	}
+}
+
+// BenchmarkTableIIExport reproduces Table II: read/delete/verify latency
+// exporting 500–16,000 blocks over the LTE-shaped uplink. The benchmark
+// sweeps a reduced block range; cmd/zc-experiments runs the full table.
+func BenchmarkTableIIExport(b *testing.B) {
+	counts := []int{500, 1000, 2000}
+	for _, count := range counts {
+		b.Run(fmt.Sprintf("blocks=%d", count), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.TableII(experiments.TableIIOptions{
+					BlockCounts: []int{count},
+					Link:        netsim.LTE,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rows[0]
+				b.ReportMetric(r.Read.Seconds(), "read-s")
+				b.ReportMetric(r.Delete.Seconds(), "delete-s")
+				b.ReportMetric(r.Verify.Seconds(), "verify-s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Fabricated reproduces Fig 9 (fabricated requests): a faulty
+// backup injects fabricated requests in 25/75/100 % of cycles; latency, CPU
+// and memory inflate but stay bounded by the open-request limit.
+func BenchmarkFig9Fabricated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Label {
+			case "fabricate 100%":
+				b.ReportMetric(r.LatPct, "lat-pct-100")
+				b.ReportMetric(r.CPUPct, "cpu-pct-100")
+			case "fabricate 25%":
+				b.ReportMetric(r.LatPct, "lat-pct-25")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9DelayedPrimary reproduces Fig 9 (delayed preprepares): the
+// primary delays proposals past the soft timeout; latency rises while
+// network utilization drops.
+func BenchmarkFig9DelayedPrimary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOptions()
+		clean, err := testbed.Run(testbed.Scenario{
+			BusCycle: 64 * time.Millisecond, PayloadSize: 1024,
+			Cycles: opt.Cycles, TimeScale: opt.TimeScale, Seed: opt.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delayed, err := testbed.Run(testbed.Scenario{
+			BusCycle: 64 * time.Millisecond, PayloadSize: 1024,
+			Cycles: opt.Cycles, TimeScale: opt.TimeScale, Seed: opt.Seed,
+			PrimaryDelay: 300 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(clean.Latency.Median.Microseconds()), "clean-lat-us")
+		b.ReportMetric(float64(delayed.Latency.Median.Microseconds()), "delayed-lat-us")
+	}
+}
+
+// BenchmarkJRURequirements checks the §V-B requirement: storage within
+// 500 ms of arrival at 15.6 events/s, including block persistence.
+func BenchmarkJRURequirements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		check, err := experiments.RunJRUCheck(b.TempDir(), experiments.Options{Cycles: 60, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !check.Pass {
+			b.Fatalf("JRU requirement violated: %+v", check)
+		}
+		b.ReportMetric(float64(check.OrderLatency.Microseconds()), "order-lat-us")
+		b.ReportMetric(float64(check.DiskWrite.Microseconds()), "disk-write-us")
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps the block/checkpoint size — the design
+// choice DESIGN.md §3(4) calls out (one checkpoint per block).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationBlockSize(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := rows[0].Result, rows[len(rows)-1].Result
+		b.ReportMetric(float64(first.Blocks), "blocks-size1")
+		b.ReportMetric(float64(last.Blocks), "blocks-size50")
+		b.ReportMetric(first.NetBytesPerNodePerSec, "net-size1")
+		b.ReportMetric(last.NetBytesPerNodePerSec, "net-size50")
+	}
+}
+
+// BenchmarkAblationSoftTimeout shows the soft timeout bounding a lazy
+// primary's damage: measured latency tracks the configured soft timeout.
+func BenchmarkAblationSoftTimeout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationSoftTimeout(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name := strings.TrimPrefix(r.Label, "soft=") + "-maxlat-ms"
+			b.ReportMetric(float64(r.Result.Latency.Max.Milliseconds()), name)
+		}
+	}
+}

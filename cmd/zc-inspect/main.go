@@ -1,0 +1,158 @@
+// Command zc-inspect examines a persisted blockchain directory — a
+// replica's data dir or a data center archive — the way an accident
+// investigator would: verify integrity end to end, check the pruning
+// authorization, and dump the juridical records.
+//
+// Usage:
+//
+//	zc-inspect -dir ./archive                 # verify + summary
+//	zc-inspect -dir ./archive -block 17       # dump one block
+//	zc-inspect -dir ./archive -events         # list discrete events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zugchain/internal/analysis"
+	"zugchain/internal/blockchain"
+	"zugchain/internal/export"
+	"zugchain/internal/signal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zc-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dir      = flag.String("dir", "", "blockchain directory to inspect")
+		blockIdx = flag.Int64("block", -1, "dump the block at this index")
+		events   = flag.Bool("events", false, "list discrete juridical events")
+		analyze  = flag.Bool("analyze", false, "run the post-operational analysis")
+	)
+	flag.Parse()
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+
+	store, err := blockchain.NewStore(*dir)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("chain: base=%d head=%d (%d retained blocks)\n",
+		store.Base(), store.HeadIndex(), store.HeadIndex()-store.Base()+1)
+	if err := store.VerifyChain(); err != nil {
+		fmt.Printf("INTEGRITY: FAILED — %v\n", err)
+		return err
+	}
+	fmt.Println("INTEGRITY: OK — every retained block hash-links and validates")
+
+	if auth := store.PruneAuth(); len(auth) > 0 {
+		cert, err := export.UnmarshalDeleteCertificate(auth)
+		if err != nil {
+			fmt.Printf("prune authorization: UNPARSEABLE (%v)\n", err)
+		} else {
+			fmt.Printf("prune authorization: block %d, %d data-center signatures\n",
+				cert.BlockIndex, len(cert.Deletes))
+		}
+	} else if store.Base() > 0 {
+		fmt.Println("prune authorization: MISSING for a non-genesis base")
+	}
+
+	if *blockIdx >= 0 {
+		return dumpBlock(store, uint64(*blockIdx))
+	}
+	if *events {
+		return dumpEvents(store)
+	}
+	if *analyze {
+		return runAnalysis(store)
+	}
+	return nil
+}
+
+func runAnalysis(store *blockchain.Store) error {
+	report, err := analysis.Analyze(store, analysis.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npost-operational analysis: %d records, %d discrete events\n",
+		report.Records, len(report.Timeline))
+	fmt.Println("records per reading node:")
+	for origin, n := range report.ByOrigin {
+		fmt.Printf("  %-6v %d\n", origin, n)
+	}
+	if len(report.Findings) == 0 {
+		fmt.Println("no suspicious findings")
+		return nil
+	}
+	fmt.Printf("%d findings:\n", len(report.Findings))
+	for _, f := range report.Findings {
+		fmt.Printf("  [%s] block %d seq %d origin %v: %s\n",
+			f.Kind, f.Block, f.Seq, f.Origin, f.Detail)
+	}
+	return nil
+}
+
+func dumpBlock(store *blockchain.Store, idx uint64) error {
+	b, err := store.Get(idx)
+	if err != nil {
+		return err
+	}
+	hash := b.Hash()
+	fmt.Printf("\nblock %d  hash=%x  prev=%x  seqs %d..%d\n",
+		b.Index, hash[:8], b.PrevHash[:8], b.FirstSeq, b.LastSeq)
+	for _, e := range b.Entries {
+		rec, err := signal.UnmarshalRecord(e.Payload)
+		if err != nil {
+			fmt.Printf("  seq %d (r%d): %d opaque bytes (not a signal record)\n",
+				e.Seq, uint32(e.Origin), len(e.Payload))
+			continue
+		}
+		fmt.Printf("  seq %d (read by %v), bus cycle %d:\n", e.Seq, e.Origin, rec.Cycle)
+		for _, s := range rec.Signals {
+			switch {
+			case len(s.Opaque) > 0:
+				fmt.Printf("    %-16s %d opaque bytes\n", s.Kind, len(s.Opaque))
+			case s.Discrete != 0 || s.Value == 0:
+				fmt.Printf("    %-16s code=%d\n", s.Kind, s.Discrete)
+			default:
+				fmt.Printf("    %-16s %.4g\n", s.Kind, s.Value)
+			}
+		}
+	}
+	return nil
+}
+
+func dumpEvents(store *blockchain.Store) error {
+	fmt.Println("\ndiscrete juridical events:")
+	count := 0
+	for idx := store.Base(); idx <= store.HeadIndex(); idx++ {
+		b, err := store.Get(idx)
+		if err != nil {
+			continue // compacted to header
+		}
+		for _, e := range b.Entries {
+			rec, err := signal.UnmarshalRecord(e.Payload)
+			if err != nil {
+				continue
+			}
+			for _, s := range rec.Signals {
+				switch s.Kind {
+				case signal.KindEmergencyBrake, signal.KindATPCommand:
+					fmt.Printf("  block %4d  seq %6d  cycle %6d  %-16s code=%d (read by %v)\n",
+						b.Index, e.Seq, rec.Cycle, s.Kind, s.Discrete, e.Origin)
+					count++
+				}
+			}
+		}
+	}
+	fmt.Printf("%d events\n", count)
+	return nil
+}

@@ -1,0 +1,46 @@
+// Command zc-keygen generates the cluster keyring: Ed25519 key pairs for
+// every replica and data center, written as one JSON file consumed by
+// cmd/zugchain and cmd/zc-datacenter.
+//
+// Usage:
+//
+//	zc-keygen -replicas 4 -datacenters 2 -out keys.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zugchain/internal/keyring"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zc-keygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		replicas    = flag.Int("replicas", 4, "number of replica key pairs (n >= 3f+1)")
+		datacenters = flag.Int("datacenters", 1, "number of data center key pairs")
+		out         = flag.String("out", "keys.json", "output keyring path")
+	)
+	flag.Parse()
+
+	if *replicas < 4 {
+		return fmt.Errorf("need at least 4 replicas for f >= 1, got %d", *replicas)
+	}
+	f, err := keyring.Generate(*replicas, *datacenters)
+	if err != nil {
+		return err
+	}
+	if err := f.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d replica and %d data center keys to %s\n",
+		*replicas, *datacenters, *out)
+	return nil
+}

@@ -1,0 +1,192 @@
+// Command zc-sim runs a self-contained ZugChain deployment in one process:
+// four replicas on a simulated train Ethernet, one simulated MVB with the
+// ATP drive generator, optional bus faults, and an optional data center that
+// periodically exports and prunes. It is the quickest way to watch the
+// whole system work.
+//
+// Usage:
+//
+//	zc-sim -duration 30s -bus-cycle 64ms -export 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"zugchain/internal/blockchain"
+	"zugchain/internal/clock"
+	"zugchain/internal/crypto"
+	"zugchain/internal/export"
+	"zugchain/internal/mvb"
+	"zugchain/internal/node"
+	"zugchain/internal/signal"
+	"zugchain/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zc-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		duration   = flag.Duration("duration", 30*time.Second, "how long to run")
+		busCycle   = flag.Duration("bus-cycle", 64*time.Millisecond, "MVB cycle time")
+		payload    = flag.Int("payload", 0, "pad records to this size")
+		exportEach = flag.Duration("export", 10*time.Second, "export period (0 = no data center)")
+		busDrop    = flag.Float64("bus-drop", 0.05, "per-node bus frame drop probability")
+		busFlip    = flag.Float64("bus-bitflip", 0.01, "per-node bus bit-flip probability")
+		seed       = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	ids := []crypto.NodeID{0, 1, 2, 3}
+	kps := make(map[crypto.NodeID]*crypto.KeyPair)
+	var pairs []*crypto.KeyPair
+	for _, id := range ids {
+		kp := crypto.MustGenerateKeyPair(id)
+		kps[id] = kp
+		pairs = append(pairs, kp)
+	}
+	dcID := crypto.DataCenterIDBase
+	dcKP := crypto.MustGenerateKeyPair(dcID)
+	pairs = append(pairs, dcKP)
+	reg := crypto.NewRegistry(pairs...)
+
+	net := transport.NewNetwork(transport.WithSeed(*seed))
+	defer net.Close()
+
+	genCfg := signal.DefaultGeneratorConfig()
+	genCfg.Seed = *seed
+	genCfg.PayloadSize = *payload
+	bus := mvb.NewBus(mvb.Config{CycleTime: *busCycle})
+	bus.Attach(mvb.NewSignalDevice(signal.NewGenerator(genCfg)))
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	var nodes []*node.Node
+	for _, id := range ids {
+		n, err := node.New(node.Config{
+			ID:           id,
+			Replicas:     ids,
+			DataCenters:  []crypto.NodeID{dcID},
+			DeleteQuorum: 1,
+		}, kps[id], reg, net.Endpoint(id), clock.Real{})
+		if err != nil {
+			return err
+		}
+		reader := bus.NewReader(mvb.FaultConfig{
+			DropRate:    *busDrop,
+			BitFlipRate: *busFlip,
+		}, *seed+int64(id))
+		n.Start()
+		n.RunBus(ctx, reader)
+		nodes = append(nodes, n)
+	}
+	defer func() {
+		cancel()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	go bus.Run(ctx, clock.Real{})
+
+	var dc *export.DataCenter
+	if *exportEach > 0 {
+		archive, err := blockchain.NewStore("")
+		if err != nil {
+			return err
+		}
+		dcMux := transport.NewMux(net.Endpoint(dcID))
+		dc = export.NewDataCenter(export.DataCenterConfig{
+			ID:          dcID,
+			Replicas:    ids,
+			ReadTimeout: 10 * time.Second,
+		}, dcKP, reg, archive, dcMux.Channel(0x40, 0x4f))
+	}
+
+	log.Printf("running %d replicas, bus cycle %v, drop %.0f%%, bit flips %.1f%%",
+		len(nodes), *busCycle, *busDrop*100, *busFlip*100)
+
+	statTicker := time.NewTicker(5 * time.Second)
+	defer statTicker.Stop()
+	var exportCh <-chan time.Time
+	if dc != nil {
+		exportTicker := time.NewTicker(*exportEach)
+		defer exportTicker.Stop()
+		exportCh = exportTicker.C
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			printSummary(nodes, dc)
+			return nil
+		case <-statTicker.C:
+			n := nodes[0]
+			lat := n.Layer().Latency().Stats()
+			log.Printf("height=%d base=%d ordered=%d dup-filtered=%d lat(med)=%v",
+				n.Store().HeadIndex(), n.Store().Base(),
+				n.Layer().Counters().Snapshot().Requests,
+				totalDuplicates(nodes),
+				lat.Median.Round(time.Microsecond))
+		case <-exportCh:
+			go runExport(ctx, dc)
+		}
+	}
+}
+
+func runExport(ctx context.Context, dc *export.DataCenter) {
+	res, err := dc.Read(ctx)
+	if err != nil {
+		log.Printf("export: %v", err)
+		return
+	}
+	if res.NewBlocks == 0 {
+		return
+	}
+	dc.SendDelete(res.BlockIndex, res.BlockHash)
+	ackCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := dc.WaitDeleteAcks(ackCtx, res.BlockIndex, 3); err != nil {
+		log.Printf("export acks: %v", err)
+		return
+	}
+	log.Printf("exported %d blocks through %d; replicas pruned", res.NewBlocks, res.BlockIndex)
+}
+
+func totalDuplicates(nodes []*node.Node) uint64 {
+	var total uint64
+	for _, n := range nodes {
+		total += n.Layer().Counters().Snapshot().Duplicates
+	}
+	return total
+}
+
+func printSummary(nodes []*node.Node, dc *export.DataCenter) {
+	fmt.Println("\n=== summary ===")
+	for i, n := range nodes {
+		store := n.Store()
+		status := "chain OK"
+		if err := store.VerifyChain(); err != nil {
+			status = "CHAIN BROKEN: " + err.Error()
+		}
+		fmt.Printf("replica %d: height=%d base=%d ordered=%d %s\n",
+			i, store.HeadIndex(), store.Base(),
+			n.Layer().Counters().Snapshot().Requests, status)
+	}
+	if dc != nil {
+		status := "archive OK"
+		if err := dc.Archive().VerifyChain(); err != nil {
+			status = "ARCHIVE BROKEN: " + err.Error()
+		}
+		fmt.Printf("data center: archived through block %d, %s\n", dc.LastExported(), status)
+	}
+}

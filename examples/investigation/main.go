@@ -1,0 +1,145 @@
+// Investigation: record a bus trace of a drive (as the paper's testbed
+// does with the DDC generator), replay the identical trace through a
+// ZugChain cluster that includes a fabricating Byzantine backup, and then
+// run the post-operational lab analysis the paper defers out of the
+// recorder (§III-B): the analysis flags the fabricated records by their
+// attestation pattern while the legitimate drive reconstructs cleanly.
+//
+//	go run ./examples/investigation
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"zugchain"
+	"zugchain/internal/analysis"
+	"zugchain/internal/core"
+	"zugchain/internal/mvb"
+	"zugchain/internal/pbft"
+	"zugchain/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Record a drive into a trace (the reproducible evidence source).
+	genCfg := zugchain.GeneratorConfig{Seed: 42, StationSpacing: 600, MaxSpeed: 100}
+	srcBus := zugchain.NewBus(zugchain.BusConfig{})
+	srcBus.Attach(zugchain.NewSignalDevice(zugchain.NewSignalGenerator(genCfg)))
+	var trace bytes.Buffer
+	stopRec := mvb.RecordTrace(srcBus, &trace)
+	const cycles = 300
+	for i := 0; i < cycles; i++ {
+		srcBus.Tick()
+	}
+	if err := stopRec(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded a %d-cycle drive trace (%d bytes)\n", cycles, trace.Len())
+
+	// 2. Replay the trace through a live cluster.
+	frames, err := mvb.ReadTrace(&trace)
+	if err != nil {
+		return err
+	}
+	replayBus := zugchain.NewBus(zugchain.BusConfig{CycleTime: 8 * time.Millisecond})
+	replayBus.Attach(mvb.NewTraceDevice(frames))
+
+	ids := []zugchain.NodeID{0, 1, 2, 3}
+	keys := make(map[zugchain.NodeID]*zugchain.KeyPair)
+	var pairs []*zugchain.KeyPair
+	for _, id := range ids {
+		kp := zugchain.MustGenerateKeyPair(id)
+		keys[id] = kp
+		pairs = append(pairs, kp)
+	}
+	registry := zugchain.NewRegistry(pairs...)
+	network := zugchain.NewSimNetwork()
+	defer network.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var nodes []*zugchain.Node
+	for i, id := range ids {
+		n, err := zugchain.NewNode(zugchain.NodeConfig{
+			ID: id, Replicas: ids,
+			SoftTimeout: 50 * time.Millisecond,
+			HardTimeout: 50 * time.Millisecond,
+		}, keys[id], registry, network.Endpoint(id), zugchain.RealClock())
+		if err != nil {
+			return err
+		}
+		n.Start()
+		n.RunBus(ctx, replayBus.NewReader(zugchain.BusFaultConfig{}, int64(i)))
+		nodes = append(nodes, n)
+	}
+	defer func() {
+		cancel()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	go replayBus.Run(ctx, zugchain.RealClock())
+
+	// 3. Byzantine backup r3 fabricates "uniquely received" requests: it
+	// signs payloads no bus ever carried and broadcasts them on the
+	// communication-layer channel, exactly the Fig 9 attack.
+	go func() {
+		ep := network.Endpoint(3)
+		for i := 0; i < 100; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			// Well-formed but invented: an ATP intervention nobody's bus
+			// ever carried, with a plausible cycle stamp so it blends in.
+			fake := zugchain.SignalRecord{Cycle: uint64(i), Signals: []zugchain.Signal{{
+				Port: 0x106, Kind: 6 /* atp-command */, Discrete: 5, Cycle: uint64(i),
+			}}}
+			req := pbft.Request{Payload: fake.Marshal()}
+			pbft.SignRequest(&req, keys[3])
+			_ = ep.Broadcast(wire.Marshal(&core.ZCRequest{Req: req}))
+		}
+	}()
+
+	// Let the replay finish.
+	time.Sleep(time.Duration(cycles)*8*time.Millisecond + 2*time.Second)
+	cancel()
+
+	// 4. Lab analysis on one node's chain.
+	store := nodes[1].Store()
+	report, err := analysis.Analyze(store, analysis.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nanalysis over %d blocks, %d records:\n", report.Blocks, report.Records)
+	fmt.Println("records per attesting node:")
+	for _, id := range ids {
+		fmt.Printf("  r%d: %d\n", id, report.ByOrigin[zugchain.NodeID(id)])
+	}
+	flagged := false
+	for _, f := range report.Findings {
+		fmt.Printf("  FINDING [%s] origin=%v: %s\n", f.Kind, f.Origin, f.Detail)
+		if f.Kind == analysis.FindingSingleSource && f.Origin == 3 {
+			flagged = true
+		}
+	}
+	if flagged {
+		fmt.Println("\nthe fabricating node r3 was identified by its attestation pattern")
+	} else {
+		fmt.Println("\n(fabrication volume below the detection threshold this run)")
+	}
+	fmt.Printf("%d discrete events on the timeline (the flagged node's %d inventions included —\n"+
+		"the blockchain records faithfully; judging is the analyst's job)\n",
+		len(report.Timeline), report.ByOrigin[3])
+	return nil
+}

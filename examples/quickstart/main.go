@@ -1,0 +1,122 @@
+// Quickstart: a four-node ZugChain cluster on an in-process network,
+// recording a simulated train drive for a few seconds, then printing the
+// agreed blockchain.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"zugchain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Identities: four replicas (n = 3f+1, f = 1) with Ed25519 keys,
+	//    all public keys in a shared registry.
+	ids := []zugchain.NodeID{0, 1, 2, 3}
+	keys := make(map[zugchain.NodeID]*zugchain.KeyPair)
+	var pairs []*zugchain.KeyPair
+	for _, id := range ids {
+		kp := zugchain.MustGenerateKeyPair(id)
+		keys[id] = kp
+		pairs = append(pairs, kp)
+	}
+	registry := zugchain.NewRegistry(pairs...)
+
+	// 2. The train's networks: a simulated Ethernet for consensus and a
+	//    simulated MVB carrying the ATP's juridical signals.
+	network := zugchain.NewSimNetwork()
+	defer network.Close()
+
+	bus := zugchain.NewBus(zugchain.BusConfig{CycleTime: 32 * time.Millisecond})
+	bus.Attach(zugchain.NewSignalDevice(
+		zugchain.NewSignalGenerator(zugchain.DefaultGeneratorConfig())))
+
+	// 3. Four ZugChain nodes, each reading the bus independently.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var nodes []*zugchain.Node
+	for i, id := range ids {
+		n, err := zugchain.NewNode(zugchain.NodeConfig{
+			ID:       id,
+			Replicas: ids,
+		}, keys[id], registry, network.Endpoint(id), zugchain.RealClock())
+		if err != nil {
+			return err
+		}
+		n.Start()
+		n.RunBus(ctx, bus.NewReader(zugchain.BusFaultConfig{}, int64(i)))
+		nodes = append(nodes, n)
+	}
+	defer func() {
+		cancel()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	go bus.Run(ctx, zugchain.RealClock())
+
+	// 4. Record for three seconds of (simulated) operation.
+	fmt.Println("recording train events for 3 seconds ...")
+	time.Sleep(3 * time.Second)
+
+	// 5. Read back the chain from one node; all nodes agree.
+	store := nodes[0].Store()
+	if err := store.VerifyChain(); err != nil {
+		return fmt.Errorf("chain verification: %w", err)
+	}
+	fmt.Printf("chain height: %d blocks, all hash-linked and verified\n", store.HeadIndex())
+
+	blocks, err := store.Range(1, min(store.HeadIndex(), 2))
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		hash := b.Hash()
+		fmt.Printf("\nblock %d (hash %x..., %d records):\n", b.Index, hash[:4], len(b.Entries))
+		for _, e := range b.Entries[:min(uint64(len(b.Entries)), 3)] {
+			rec, err := zugchain.UnmarshalRecord(e.Payload)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  seq %d (read by r%d): cycle %d, %d signals:",
+				e.Seq, e.Origin, rec.Cycle, len(rec.Signals))
+			for _, s := range rec.Signals {
+				fmt.Printf(" %s=%.4g", s.Kind, s.Value)
+			}
+			fmt.Println()
+		}
+		if len(b.Entries) > 3 {
+			fmt.Printf("  ... %d more records\n", len(b.Entries)-3)
+		}
+	}
+
+	// Every node holds the identical chain: that is what makes a single
+	// surviving node after an accident sufficient.
+	for i, n := range nodes[1:] {
+		a, _ := nodes[0].Store().Get(1)
+		b, err := n.Store().Get(1)
+		if err != nil || a.Hash() != b.Hash() {
+			return fmt.Errorf("node %d diverged", i+1)
+		}
+	}
+	fmt.Println("\nall four replicas agree on every block")
+	return nil
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module zugchain
+
+go 1.24

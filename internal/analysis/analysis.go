@@ -1,0 +1,233 @@
+// Package analysis implements the post-operational lab analysis the paper
+// defers out of the on-train recorder (§III-B): after export, investigators
+// reconstruct the chain of events and detect what the recorder deliberately
+// logs without judging — duplicates re-logged outside the filter window,
+// data ordered long after its bus cycle ("out of order data that is
+// included long after its proposed creation should be regarded sceptical"),
+// records attributable to a single node only (fabrication candidates), and
+// physically implausible values from bus corruption.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"zugchain/internal/blockchain"
+	"zugchain/internal/crypto"
+	"zugchain/internal/signal"
+)
+
+// FindingKind classifies an analysis finding.
+type FindingKind uint8
+
+// Finding kinds.
+const (
+	// FindingDuplicate is a payload logged more than once (the original
+	// fell outside the on-train filter window, §III-C "Faulty Primary").
+	FindingDuplicate FindingKind = iota + 1
+	// FindingLateOrder is a record whose bus cycle is far older than the
+	// cycles ordered around it.
+	FindingLateOrder
+	// FindingSingleSource is a record kind exclusively attested by one
+	// node — a fabrication candidate if that node is suspect.
+	FindingSingleSource
+	// FindingImplausible is a physically impossible signal value,
+	// indicating source-side corruption (bus bit flips).
+	FindingImplausible
+	// FindingUnparseable is an entry whose payload is not a signal
+	// record.
+	FindingUnparseable
+)
+
+var findingNames = map[FindingKind]string{
+	FindingDuplicate:    "duplicate",
+	FindingLateOrder:    "late-order",
+	FindingSingleSource: "single-source",
+	FindingImplausible:  "implausible-value",
+	FindingUnparseable:  "unparseable",
+}
+
+// String names the finding kind.
+func (k FindingKind) String() string {
+	if s, ok := findingNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("finding(%d)", uint8(k))
+}
+
+// Finding is one suspicious observation in the exported chain.
+type Finding struct {
+	Kind   FindingKind
+	Block  uint64
+	Seq    uint64
+	Cycle  uint64
+	Origin crypto.NodeID
+	Detail string
+}
+
+// Config tunes the analysis heuristics.
+type Config struct {
+	// LateOrderSlack is how many cycles behind the running maximum a
+	// record may be before it is flagged (bus retransmissions legitimately
+	// shift data by a few cycles).
+	LateOrderSlack uint64
+	// MaxSpeedKmh bounds plausible speed readings.
+	MaxSpeedKmh float64
+	// MinOriginShare flags an origin as single-source when it contributed
+	// 100% of some records while others contributed none — expressed as
+	// the minimum number of exclusive records before flagging.
+	MinExclusiveRecords int
+}
+
+func (c *Config) applyDefaults() {
+	if c.LateOrderSlack == 0 {
+		c.LateOrderSlack = 50
+	}
+	if c.MaxSpeedKmh == 0 {
+		c.MaxSpeedKmh = 500
+	}
+	if c.MinExclusiveRecords == 0 {
+		c.MinExclusiveRecords = 5
+	}
+}
+
+// Report is the outcome of analyzing a chain.
+type Report struct {
+	Blocks   uint64
+	Records  int
+	Findings []Finding
+	// Timeline is the reconstructed event sequence in ordering
+	// (sequence-number) order.
+	Timeline []Event
+	// ByOrigin counts logged records per reading node; skew indicates
+	// nodes with privileged or fabricated input.
+	ByOrigin map[crypto.NodeID]int
+}
+
+// Event is one reconstructed discrete juridical event.
+type Event struct {
+	Seq    uint64
+	Cycle  uint64
+	Origin crypto.NodeID
+	Kind   signal.Kind
+	Code   uint32
+	Value  float64
+}
+
+// Analyze verifies and inspects the chain in store between its base and
+// head. The chain's integrity is a precondition: tampered chains are
+// rejected outright.
+func Analyze(store *blockchain.Store, cfg Config) (*Report, error) {
+	cfg.applyDefaults()
+	if err := store.VerifyChain(); err != nil {
+		return nil, fmt.Errorf("analysis: chain integrity: %w", err)
+	}
+
+	report := &Report{
+		Blocks:   store.HeadIndex(),
+		ByOrigin: make(map[crypto.NodeID]int),
+	}
+	seenPayload := make(map[crypto.Digest]uint64) // digest -> first seq
+	var maxCycle uint64
+
+	for idx := store.Base(); idx <= store.HeadIndex(); idx++ {
+		b, err := store.Get(idx)
+		if err != nil {
+			continue // compacted to header: body unavailable, linkage already verified
+		}
+		for _, e := range b.Entries {
+			report.Records++
+			report.ByOrigin[e.Origin]++
+
+			digest := crypto.Hash(e.Payload)
+			if first, dup := seenPayload[digest]; dup {
+				report.Findings = append(report.Findings, Finding{
+					Kind: FindingDuplicate, Block: idx, Seq: e.Seq, Origin: e.Origin,
+					Detail: fmt.Sprintf("payload first logged at seq %d", first),
+				})
+			} else {
+				seenPayload[digest] = e.Seq
+			}
+
+			rec, err := signal.UnmarshalRecord(e.Payload)
+			if err != nil {
+				report.Findings = append(report.Findings, Finding{
+					Kind: FindingUnparseable, Block: idx, Seq: e.Seq, Origin: e.Origin,
+					Detail: err.Error(),
+				})
+				continue
+			}
+
+			if maxCycle > cfg.LateOrderSlack && rec.Cycle < maxCycle-cfg.LateOrderSlack {
+				report.Findings = append(report.Findings, Finding{
+					Kind: FindingLateOrder, Block: idx, Seq: e.Seq, Cycle: rec.Cycle,
+					Origin: e.Origin,
+					Detail: fmt.Sprintf("cycle %d ordered while cycle %d was current", rec.Cycle, maxCycle),
+				})
+			}
+			if rec.Cycle > maxCycle {
+				maxCycle = rec.Cycle
+			}
+
+			for _, s := range rec.Signals {
+				if s.Kind == signal.KindSpeed && (s.Value < 0 || s.Value > cfg.MaxSpeedKmh) {
+					report.Findings = append(report.Findings, Finding{
+						Kind: FindingImplausible, Block: idx, Seq: e.Seq, Cycle: rec.Cycle,
+						Origin: e.Origin,
+						Detail: fmt.Sprintf("speed %.4g km/h", s.Value),
+					})
+				}
+				switch s.Kind {
+				case signal.KindEmergencyBrake, signal.KindATPCommand, signal.KindDoorState:
+					report.Timeline = append(report.Timeline, Event{
+						Seq: e.Seq, Cycle: rec.Cycle, Origin: e.Origin,
+						Kind: s.Kind, Code: s.Discrete, Value: s.Value,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(report.Timeline, func(i, j int) bool {
+		return report.Timeline[i].Seq < report.Timeline[j].Seq
+	})
+
+	report.Findings = append(report.Findings, singleSourceFindings(report.ByOrigin, cfg)...)
+	return report, nil
+}
+
+// singleSourceFindings flags fabrication candidates. Under normal filtering
+// the primary of the day attests almost every record (it proposes its own
+// bus reads); backups only attest records that ONLY they received, rescued
+// via soft-timeout broadcasts — rare on a shared bus. A backup attesting
+// many records therefore claims a lot of uniquely received data, which is
+// exactly the fabricated-request pattern of §III-C fault (iii) and Fig 9.
+func singleSourceFindings(byOrigin map[crypto.NodeID]int, cfg Config) []Finding {
+	if len(byOrigin) <= 1 {
+		return nil // a single-origin chain has no comparison basis
+	}
+	total := 0
+	max := 0
+	var dominant crypto.NodeID
+	for origin, n := range byOrigin {
+		total += n
+		if n > max {
+			max = n
+			dominant = origin
+		}
+	}
+	var findings []Finding
+	for origin, n := range byOrigin {
+		if origin == dominant {
+			continue
+		}
+		if n >= cfg.MinExclusiveRecords && n*5 >= total {
+			findings = append(findings, Finding{
+				Kind:   FindingSingleSource,
+				Origin: origin,
+				Detail: fmt.Sprintf("backup %v attested %d of %d records as uniquely received", origin, n, total),
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Origin < findings[j].Origin })
+	return findings
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"zugchain/internal/blockchain"
+	"zugchain/internal/crypto"
+	"zugchain/internal/signal"
+)
+
+// chainBuilder assembles a test chain of signal records.
+type chainBuilder struct {
+	t       *testing.T
+	store   *blockchain.Store
+	builder *blockchain.Builder
+	seq     uint64
+}
+
+func newChainBuilder(t *testing.T) *chainBuilder {
+	t.Helper()
+	store, err := blockchain.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &chainBuilder{
+		t:       t,
+		store:   store,
+		builder: blockchain.NewBuilder(blockchain.Genesis(), 5),
+	}
+}
+
+func (cb *chainBuilder) add(origin crypto.NodeID, rec signal.Record) {
+	cb.t.Helper()
+	cb.seq++
+	if b := cb.builder.Add(blockchain.Entry{
+		Seq: cb.seq, Origin: origin, Payload: rec.Marshal(),
+	}); b != nil {
+		if err := cb.store.Append(b); err != nil {
+			cb.t.Fatal(err)
+		}
+	}
+}
+
+func (cb *chainBuilder) addRaw(origin crypto.NodeID, payload []byte) {
+	cb.t.Helper()
+	cb.seq++
+	if b := cb.builder.Add(blockchain.Entry{
+		Seq: cb.seq, Origin: origin, Payload: payload,
+	}); b != nil {
+		if err := cb.store.Append(b); err != nil {
+			cb.t.Fatal(err)
+		}
+	}
+}
+
+func (cb *chainBuilder) finish() *blockchain.Store {
+	cb.t.Helper()
+	if b := cb.builder.Seal(); b != nil {
+		if err := cb.store.Append(b); err != nil {
+			cb.t.Fatal(err)
+		}
+	}
+	return cb.store
+}
+
+// speedRec builds a record with one speed signal.
+func speedRec(cycle uint64, speed float64) signal.Record {
+	return signal.Record{Cycle: cycle, Signals: []signal.Signal{
+		{Port: signal.PortSpeed, Kind: signal.KindSpeed, Value: speed, Cycle: cycle},
+	}}
+}
+
+func kinds(findings []Finding) map[FindingKind]int {
+	out := make(map[FindingKind]int)
+	for _, f := range findings {
+		out[f.Kind]++
+	}
+	return out
+}
+
+func TestAnalyzeCleanChain(t *testing.T) {
+	cb := newChainBuilder(t)
+	for cycle := uint64(0); cycle < 25; cycle++ {
+		cb.add(0, speedRec(cycle, float64(cycle)))
+	}
+	report, err := Analyze(cb.finish(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Findings) != 0 {
+		t.Errorf("clean chain produced findings: %+v", report.Findings)
+	}
+	if report.Records != 25 {
+		t.Errorf("records = %d", report.Records)
+	}
+	if report.ByOrigin[0] != 25 {
+		t.Errorf("ByOrigin = %+v", report.ByOrigin)
+	}
+}
+
+func TestAnalyzeDetectsDuplicate(t *testing.T) {
+	cb := newChainBuilder(t)
+	dup := speedRec(1, 10)
+	cb.add(0, dup)
+	for cycle := uint64(2); cycle < 10; cycle++ {
+		cb.add(0, speedRec(cycle, float64(cycle)))
+	}
+	cb.add(0, dup) // re-logged outside the on-train window
+	report, err := Analyze(cb.finish(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(report.Findings)[FindingDuplicate] != 1 {
+		t.Errorf("findings = %+v", report.Findings)
+	}
+}
+
+func TestAnalyzeDetectsLateOrder(t *testing.T) {
+	cb := newChainBuilder(t)
+	for cycle := uint64(0); cycle < 100; cycle++ {
+		cb.add(0, speedRec(cycle, 50))
+	}
+	cb.add(2, speedRec(3, 50.5)) // cycle 3 ordered at current cycle 99
+	report, err := Analyze(cb.finish(), Config{LateOrderSlack: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(report.Findings)
+	if got[FindingLateOrder] != 1 {
+		t.Errorf("findings = %+v", report.Findings)
+	}
+}
+
+func TestAnalyzeLateOrderSlackTolerated(t *testing.T) {
+	cb := newChainBuilder(t)
+	for cycle := uint64(0); cycle < 60; cycle++ {
+		cb.add(0, speedRec(cycle, 50))
+	}
+	cb.add(1, speedRec(30, 50.5)) // 29 cycles late: inside the slack of 50
+	report, err := Analyze(cb.finish(), Config{LateOrderSlack: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(report.Findings)[FindingLateOrder] != 0 {
+		t.Errorf("slack-tolerable reorder flagged: %+v", report.Findings)
+	}
+}
+
+func TestAnalyzeDetectsImplausibleSpeed(t *testing.T) {
+	cb := newChainBuilder(t)
+	cb.add(0, speedRec(1, 80))
+	cb.add(0, speedRec(2, 1.2e21)) // bit-flipped float
+	cb.add(0, speedRec(3, -5))
+	report, err := Analyze(cb.finish(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(report.Findings)[FindingImplausible] != 2 {
+		t.Errorf("findings = %+v", report.Findings)
+	}
+}
+
+func TestAnalyzeDetectsFabricationPattern(t *testing.T) {
+	cb := newChainBuilder(t)
+	// The primary (r0) attests the regular stream ...
+	for cycle := uint64(0); cycle < 30; cycle++ {
+		cb.add(0, speedRec(cycle, float64(cycle)))
+	}
+	// ... while backup r3 claims 15 uniquely received records (Fig 9).
+	for i := 0; i < 15; i++ {
+		cb.add(3, signal.Record{Cycle: uint64(30 + i), Signals: []signal.Signal{
+			{Port: signal.PortATP, Kind: signal.KindATPCommand, Discrete: 1, Cycle: uint64(30 + i)},
+		}})
+	}
+	report, err := Analyze(cb.finish(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Finding
+	for i := range report.Findings {
+		if report.Findings[i].Kind == FindingSingleSource {
+			hit = &report.Findings[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("fabrication pattern not flagged: %+v", report.Findings)
+	}
+	if hit.Origin != 3 {
+		t.Errorf("flagged %v, want r3", hit.Origin)
+	}
+}
+
+func TestAnalyzeOrdinaryBackupRescuesNotFlagged(t *testing.T) {
+	cb := newChainBuilder(t)
+	for cycle := uint64(0); cycle < 50; cycle++ {
+		origin := crypto.NodeID(0)
+		if cycle%25 == 7 { // occasional soft-timeout rescue by a backup
+			origin = 2
+		}
+		cb.add(origin, speedRec(cycle, float64(cycle)))
+	}
+	report, err := Analyze(cb.finish(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(report.Findings)[FindingSingleSource] != 0 {
+		t.Errorf("benign rescues flagged: %+v", report.Findings)
+	}
+}
+
+func TestAnalyzeUnparseablePayload(t *testing.T) {
+	cb := newChainBuilder(t)
+	cb.add(0, speedRec(1, 10))
+	cb.addRaw(1, []byte{0xde, 0xad})
+	report, err := Analyze(cb.finish(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(report.Findings)[FindingUnparseable] != 1 {
+		t.Errorf("findings = %+v", report.Findings)
+	}
+}
+
+func TestAnalyzeTimeline(t *testing.T) {
+	cb := newChainBuilder(t)
+	cb.add(0, speedRec(1, 30))
+	cb.add(0, signal.Record{Cycle: 2, Signals: []signal.Signal{
+		{Port: signal.PortEmergency, Kind: signal.KindEmergencyBrake, Discrete: 1, Cycle: 2},
+	}})
+	cb.add(1, signal.Record{Cycle: 3, Signals: []signal.Signal{
+		{Port: signal.PortDoors, Kind: signal.KindDoorState, Discrete: 0x0f, Cycle: 3},
+	}})
+	report, err := Analyze(cb.finish(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Timeline) != 2 {
+		t.Fatalf("timeline = %+v", report.Timeline)
+	}
+	if report.Timeline[0].Kind != signal.KindEmergencyBrake || report.Timeline[1].Kind != signal.KindDoorState {
+		t.Errorf("timeline order wrong: %+v", report.Timeline)
+	}
+}
+
+func TestAnalyzeRejectsTamperedChain(t *testing.T) {
+	cb := newChainBuilder(t)
+	for cycle := uint64(0); cycle < 10; cycle++ {
+		cb.add(0, speedRec(cycle, 1))
+	}
+	store := cb.finish()
+	// Tamper with a block in place.
+	b, err := store.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Entries[0].Payload[0] ^= 1
+	if _, err := Analyze(store, Config{}); err == nil {
+		t.Error("tampered chain analyzed without error")
+	}
+}
+
+func TestFindingKindString(t *testing.T) {
+	for k := FindingDuplicate; k <= FindingUnparseable; k++ {
+		if s := k.String(); s == "" || s == fmt.Sprintf("finding(%d)", uint8(k)) {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if FindingKind(99).String() != "finding(99)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestAnalyzeEmptyChain(t *testing.T) {
+	store, err := blockchain.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Analyze(store, Config{})
+	if err != nil {
+		t.Fatalf("Analyze(genesis-only): %v", err)
+	}
+	if report.Records != 0 || len(report.Findings) != 0 || len(report.Timeline) != 0 {
+		t.Errorf("empty chain report = %+v", report)
+	}
+}
+
+func TestAnalyzeSurvivesCompactedBlocks(t *testing.T) {
+	cb := newChainBuilder(t)
+	for cycle := uint64(0); cycle < 30; cycle++ {
+		cb.add(0, speedRec(cycle, float64(cycle)))
+	}
+	store := cb.finish()
+	if err := store.CompactToHeaders(3); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Analyze(store, Config{})
+	if err != nil {
+		t.Fatalf("Analyze over compacted chain: %v", err)
+	}
+	// Bodies of blocks 1-3 are gone; the remaining records still analyze.
+	if report.Records == 0 {
+		t.Error("no records analyzed")
+	}
+}

@@ -1,0 +1,276 @@
+package blockchain
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zugchain/internal/crypto"
+)
+
+func entry(seq uint64, payload string) Entry {
+	return Entry{Seq: seq, Origin: crypto.NodeID(seq % 4), Payload: []byte(payload), Sig: []byte{byte(seq)}}
+}
+
+func buildChain(t *testing.T, nBlocks, size int) []*Block {
+	t.Helper()
+	bd := NewBuilder(Genesis(), size)
+	var blocks []*Block
+	seq := uint64(1)
+	for len(blocks) < nBlocks {
+		b := bd.Add(entry(seq, fmt.Sprintf("payload-%d", seq)))
+		seq++
+		if b != nil {
+			blocks = append(blocks, b)
+		}
+	}
+	return blocks
+}
+
+func TestBuilderSealsAtSize(t *testing.T) {
+	bd := NewBuilder(Genesis(), 3)
+	if b := bd.Add(entry(1, "a")); b != nil {
+		t.Fatal("sealed early")
+	}
+	if b := bd.Add(entry(2, "b")); b != nil {
+		t.Fatal("sealed early")
+	}
+	b := bd.Add(entry(3, "c"))
+	if b == nil {
+		t.Fatal("did not seal at size")
+	}
+	if b.Index != 1 || b.FirstSeq != 1 || b.LastSeq != 3 || len(b.Entries) != 3 {
+		t.Errorf("block = %+v", b.Header)
+	}
+	if b.PrevHash != Genesis().Hash() {
+		t.Error("block not linked to genesis")
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderChainsBlocks(t *testing.T) {
+	blocks := buildChain(t, 5, 10)
+	prev := Genesis()
+	for _, b := range blocks {
+		if b.PrevHash != prev.Hash() {
+			t.Fatalf("block %d not linked to %d", b.Index, prev.Index)
+		}
+		if b.Index != prev.Index+1 {
+			t.Fatalf("block index %d after %d", b.Index, prev.Index)
+		}
+		prev = b
+	}
+	if err := VerifySegment(Genesis().Header, blocks); err != nil {
+		t.Errorf("VerifySegment: %v", err)
+	}
+}
+
+func TestBuilderSealEarly(t *testing.T) {
+	bd := NewBuilder(Genesis(), 10)
+	bd.Add(entry(1, "a"))
+	bd.Add(entry(2, "b"))
+	b := bd.Seal()
+	if b == nil || len(b.Entries) != 2 {
+		t.Fatalf("Seal = %+v", b)
+	}
+	if bd.Pending() != 0 {
+		t.Error("pending not cleared")
+	}
+	if bd.Seal() != nil {
+		t.Error("empty Seal returned a block")
+	}
+}
+
+func TestBuilderDeterministicAcrossReplicas(t *testing.T) {
+	b1 := buildChain(t, 3, 10)
+	b2 := buildChain(t, 3, 10)
+	for i := range b1 {
+		if b1[i].Hash() != b2[i].Hash() {
+			t.Fatalf("block %d hashes differ across identical builders", i)
+		}
+	}
+}
+
+func TestBlockMarshalRoundTrip(t *testing.T) {
+	b := buildChain(t, 1, 4)[0]
+	got, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Hash() != b.Hash() {
+		t.Error("hash changed through round trip")
+	}
+	if len(got.Entries) != len(b.Entries) {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	for i := range b.Entries {
+		if !bytes.Equal(got.Entries[i].Payload, b.Entries[i].Payload) ||
+			got.Entries[i].Seq != b.Entries[i].Seq ||
+			got.Entries[i].Origin != b.Entries[i].Origin {
+			t.Errorf("entry %d = %+v", i, got.Entries[i])
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	b := buildChain(t, 1, 2)[0]
+	data := b.Marshal()
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated", data[:len(data)-3]},
+		{"trailing", append(append([]byte{}, data...), 0x01)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal(tt.data); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Block { return buildChain(t, 1, 3)[0] }
+
+	t.Run("payload mutation", func(t *testing.T) {
+		b := mk()
+		b.Entries[1].Payload[0] ^= 1
+		if b.Validate() == nil {
+			t.Error("mutated payload validated")
+		}
+	})
+	t.Run("dropped entry", func(t *testing.T) {
+		b := mk()
+		b.Entries = b.Entries[:len(b.Entries)-1]
+		if b.Validate() == nil {
+			t.Error("dropped entry validated")
+		}
+	})
+	t.Run("reordered entries", func(t *testing.T) {
+		b := mk()
+		b.Entries[0], b.Entries[1] = b.Entries[1], b.Entries[0]
+		if b.Validate() == nil {
+			t.Error("reordered entries validated")
+		}
+	})
+	t.Run("seq range lie", func(t *testing.T) {
+		b := mk()
+		b.LastSeq++
+		if b.Validate() == nil {
+			t.Error("wrong seq range validated")
+		}
+	})
+}
+
+// Property: flipping any bit of a marshalled block is detected — either the
+// decode fails, validation fails, or the hash changes. This is the
+// tamper-evidence R3 relies on.
+func TestTamperEvidenceProperty(t *testing.T) {
+	b := buildChain(t, 1, 5)[0]
+	origHash := b.Hash()
+	data := b.Marshal()
+
+	f := func(bitIdx uint) bool {
+		mutated := make([]byte, len(data))
+		copy(mutated, data)
+		i := int(bitIdx % uint(len(mutated)*8))
+		mutated[i/8] ^= 1 << (i % 8)
+
+		got, err := Unmarshal(mutated)
+		if err != nil {
+			return true // detected at decode
+		}
+		if got.Validate() != nil {
+			return true // detected at validation
+		}
+		return got.Hash() != origHash // must be detected via the chain link
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifySegmentDetectsTampering(t *testing.T) {
+	blocks := buildChain(t, 4, 5)
+
+	t.Run("valid", func(t *testing.T) {
+		if err := VerifySegment(Genesis().Header, blocks); err != nil {
+			t.Fatalf("VerifySegment: %v", err)
+		}
+	})
+	t.Run("middle block replaced", func(t *testing.T) {
+		tampered := make([]*Block, len(blocks))
+		copy(tampered, blocks)
+		forged := *blocks[1]
+		forged.Entries = append([]Entry{}, blocks[1].Entries...)
+		forged.Entries[0].Payload = []byte("forged")
+		forged.BodyHash = BodyDigest(forged.Entries)
+		tampered[1] = &forged
+		if VerifySegment(Genesis().Header, tampered) == nil {
+			t.Error("replaced block passed verification")
+		}
+	})
+	t.Run("gap", func(t *testing.T) {
+		if VerifySegment(Genesis().Header, []*Block{blocks[0], blocks[2]}) == nil {
+			t.Error("gapped segment verified")
+		}
+	})
+	t.Run("wrong base", func(t *testing.T) {
+		if VerifySegment(blocks[0].Header, blocks) == nil {
+			t.Error("segment verified against wrong base")
+		}
+	})
+}
+
+func TestBuilderResetTo(t *testing.T) {
+	bd := NewBuilder(Genesis(), 5)
+	bd.Add(entry(1, "discard"))
+	blocks := buildChain(t, 2, 5)
+	bd.ResetTo(blocks[1])
+	if bd.Pending() != 0 || bd.NextIndex() != 3 {
+		t.Errorf("after reset: pending=%d next=%d", bd.Pending(), bd.NextIndex())
+	}
+	for s := uint64(11); s <= 15; s++ {
+		if b := bd.Add(entry(s, "x")); b != nil {
+			if b.PrevHash != blocks[1].Hash() {
+				t.Error("reset builder not linked to new base")
+			}
+		}
+	}
+}
+
+func TestGenesisIsStable(t *testing.T) {
+	if Genesis().Hash() != Genesis().Hash() {
+		t.Error("genesis hash unstable")
+	}
+	if Genesis().Index != 0 {
+		t.Error("genesis index nonzero")
+	}
+}
+
+func TestPendingEntriesIsCopy(t *testing.T) {
+	bd := NewBuilder(Genesis(), 5)
+	bd.Add(entry(1, "a"))
+	got := bd.PendingEntries()
+	got[0].Seq = 999
+	if bd.pending[0].Seq != 1 {
+		t.Error("PendingEntries exposed internal state")
+	}
+}
+
+// Fuzz-ish: Unmarshal must never panic on random bytes.
+func TestUnmarshalNoPanicOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		data := make([]byte, rng.Intn(300))
+		rng.Read(data)
+		_, _ = Unmarshal(data) // must not panic
+	}
+}

@@ -1,0 +1,36 @@
+package blockchain
+
+import "testing"
+
+// FuzzBlockUnmarshal hardens block decoding: no panics, and any block that
+// decodes and validates must round-trip to the same hash.
+func FuzzBlockUnmarshal(f *testing.F) {
+	seed := buildFuzzChain()
+	f.Add(seed.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if err := b.Validate(); err != nil {
+			return
+		}
+		again, err := Unmarshal(b.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Hash() != b.Hash() {
+			t.Fatal("hash changed through round trip")
+		}
+	})
+}
+
+func buildFuzzChain() *Block {
+	bd := NewBuilder(Genesis(), 3)
+	var b *Block
+	for seq := uint64(1); seq <= 3; seq++ {
+		b = bd.Add(Entry{Seq: seq, Payload: []byte{byte(seq)}, Sig: []byte{0xaa}})
+	}
+	return b
+}

@@ -1,0 +1,322 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store errors.
+var (
+	ErrNotFound   = errors.New("blockchain: block not found")
+	ErrBadLinkage = errors.New("blockchain: block does not extend the head")
+	ErrPruned     = errors.New("blockchain: block was pruned")
+)
+
+// Store keeps the chain in memory and, when configured with a directory,
+// persists every block to disk before acknowledging it — the paper persists
+// the blockchain on disk to survive power loss (§V-B "Comparison to JRU
+// Requirements"). Blocks below the pruning base are deleted after a
+// confirmed export (§III-D); compacted blocks survive as headers only.
+type Store struct {
+	mu      sync.RWMutex
+	dir     string // empty = memory only
+	blocks  map[uint64]*Block
+	headers map[uint64]Header // bodies compacted away, headers retained
+	base    uint64            // lowest retained full block (pruning base)
+	head    uint64            // highest block index
+	auth    []byte            // export authorization justifying the base
+}
+
+// NewStore creates a store rooted at the genesis block. If dir is nonempty
+// it is created if needed and any previously persisted blocks are loaded.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		blocks:  map[uint64]*Block{0: Genesis()},
+		headers: make(map[uint64]Header),
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blockchain: create store dir: %w", err)
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load reads persisted blocks back into memory.
+func (s *Store) load() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("blockchain: read store dir: %w", err)
+	}
+	var indices []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "block-") || !strings.HasSuffix(name, ".zc") {
+			continue
+		}
+		idxStr := strings.TrimSuffix(strings.TrimPrefix(name, "block-"), ".zc")
+		idx, err := strconv.ParseUint(idxStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return fmt.Errorf("blockchain: read %s: %w", name, err)
+		}
+		b, err := Unmarshal(data)
+		if err != nil {
+			return fmt.Errorf("blockchain: corrupt %s: %w", name, err)
+		}
+		if b.Index != idx {
+			return fmt.Errorf("blockchain: %s contains block %d", name, b.Index)
+		}
+		s.blocks[idx] = b
+		indices = append(indices, idx)
+	}
+	if len(indices) == 0 {
+		return nil
+	}
+	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+	s.head = indices[len(indices)-1]
+	if min := indices[0]; min > 1 {
+		s.base = min
+		if auth, err := os.ReadFile(filepath.Join(s.dir, "prune-auth.zc")); err == nil {
+			s.auth = auth
+		}
+	}
+	return nil
+}
+
+// Append adds a sealed block extending the current head, persisting it
+// before returning.
+func (s *Store) Append(b *Block) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.Index != s.head+1 {
+		return fmt.Errorf("%w: index %d after head %d", ErrBadLinkage, b.Index, s.head)
+	}
+	prev, ok := s.blocks[s.head]
+	if ok && b.PrevHash != prev.Hash() {
+		return fmt.Errorf("%w: prev hash mismatch at %d", ErrBadLinkage, b.Index)
+	}
+	if s.dir != "" {
+		if err := s.writeBlock(b); err != nil {
+			return err
+		}
+	}
+	s.blocks[b.Index] = b
+	s.head = b.Index
+	return nil
+}
+
+// writeBlock persists one block atomically (temp file + rename).
+func (s *Store) writeBlock(b *Block) error {
+	final := filepath.Join(s.dir, fmt.Sprintf("block-%08d.zc", b.Index))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, b.Marshal(), 0o644); err != nil {
+		return fmt.Errorf("blockchain: write block %d: %w", b.Index, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("blockchain: commit block %d: %w", b.Index, err)
+	}
+	return nil
+}
+
+// Get returns the block at index. Pruned indices yield ErrPruned; compacted
+// ones only have headers (see Header method).
+func (s *Store) Get(index uint64) (*Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if b, ok := s.blocks[index]; ok {
+		return b, nil
+	}
+	if index < s.base {
+		return nil, fmt.Errorf("%w: %d below base %d", ErrPruned, index, s.base)
+	}
+	if _, ok := s.headers[index]; ok {
+		return nil, fmt.Errorf("%w: %d compacted to header", ErrPruned, index)
+	}
+	return nil, fmt.Errorf("%w: %d", ErrNotFound, index)
+}
+
+// Header returns the header at index, available even for compacted blocks.
+func (s *Store) Header(index uint64) (Header, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if b, ok := s.blocks[index]; ok {
+		return b.Header, nil
+	}
+	if h, ok := s.headers[index]; ok {
+		return h, nil
+	}
+	return Header{}, fmt.Errorf("%w: %d", ErrNotFound, index)
+}
+
+// Head returns the highest block.
+func (s *Store) Head() *Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blocks[s.head]
+}
+
+// HeadIndex returns the highest block index.
+func (s *Store) HeadIndex() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head
+}
+
+// Base returns the pruning base: the lowest retained full block.
+func (s *Store) Base() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base
+}
+
+// Range returns the full blocks in [from, to]. Missing or pruned indices
+// produce an error.
+func (s *Store) Range(from, to uint64) ([]*Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if from > to {
+		return nil, fmt.Errorf("blockchain: invalid range [%d, %d]", from, to)
+	}
+	out := make([]*Block, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		b, ok := s.blocks[i]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d in range [%d, %d]", ErrNotFound, i, from, to)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Prune removes all full blocks below keepFrom after a confirmed export.
+// The block at keepFrom is retained as the base of the pruned chain ("the
+// last exported block ... serves as the first block for the pruned
+// blockchain", §III-D step 6). auth is the export layer's signed delete
+// certificate, persisted so a transferred or audited chain can justify its
+// non-genesis base.
+func (s *Store) Prune(keepFrom uint64, auth []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keepFrom > s.head {
+		return fmt.Errorf("blockchain: prune base %d above head %d", keepFrom, s.head)
+	}
+	if keepFrom <= s.base {
+		return nil // nothing to do
+	}
+	if _, ok := s.blocks[keepFrom]; !ok {
+		return fmt.Errorf("%w: prune base %d", ErrNotFound, keepFrom)
+	}
+	for i := s.base; i < keepFrom; i++ {
+		delete(s.blocks, i)
+		delete(s.headers, i)
+		if s.dir != "" && i > 0 {
+			_ = os.Remove(filepath.Join(s.dir, fmt.Sprintf("block-%08d.zc", i)))
+		}
+	}
+	s.base = keepFrom
+	s.auth = auth
+	if s.dir != "" && auth != nil {
+		_ = os.WriteFile(filepath.Join(s.dir, "prune-auth.zc"), auth, 0o644)
+	}
+	return nil
+}
+
+// PruneAuth returns the stored export authorization for the current base.
+func (s *Store) PruneAuth() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.auth
+}
+
+// CompactToHeaders drops the bodies of blocks in [base, through], keeping
+// their headers — the §III-D error (v) escape hatch when deletes are missed
+// and memory runs out. The base block body is kept so the chain still has a
+// verifiable anchor.
+func (s *Store) CompactToHeaders(through uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if through >= s.head {
+		return fmt.Errorf("blockchain: refusing to compact the head")
+	}
+	for i := s.base + 1; i <= through; i++ {
+		b, ok := s.blocks[i]
+		if !ok {
+			continue
+		}
+		s.headers[i] = b.Header
+		delete(s.blocks, i)
+		if s.dir != "" {
+			_ = os.Remove(filepath.Join(s.dir, fmt.Sprintf("block-%08d.zc", i)))
+		}
+	}
+	return nil
+}
+
+// VerifyChain checks hash linkage and block integrity from the base to the
+// head, spanning compacted headers. Any mutation of any retained byte makes
+// it fail.
+func (s *Store) VerifyChain() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prevKnown := false
+	var prevHash [32]byte
+	for i := s.base; i <= s.head; i++ {
+		var h Header
+		if b, ok := s.blocks[i]; ok {
+			if err := b.Validate(); err != nil {
+				return err
+			}
+			h = b.Header
+		} else if hdr, ok := s.headers[i]; ok {
+			h = hdr
+		} else {
+			return fmt.Errorf("%w: %d during verification", ErrNotFound, i)
+		}
+		if prevKnown && h.PrevHash != prevHash {
+			return fmt.Errorf("blockchain: broken link at block %d", i)
+		}
+		prevHash = h.Hash()
+		prevKnown = true
+	}
+	return nil
+}
+
+// VerifySegment checks that blocks form a valid hash chain starting on top
+// of base. Used by data centers validating an export batch and by replicas
+// installing a state transfer.
+func VerifySegment(base Header, blocks []*Block) error {
+	prevHash := base.Hash()
+	next := base.Index + 1
+	for _, b := range blocks {
+		if b.Index != next {
+			return fmt.Errorf("blockchain: segment gap: got %d, want %d", b.Index, next)
+		}
+		if b.PrevHash != prevHash {
+			return fmt.Errorf("blockchain: segment link broken at %d", b.Index)
+		}
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		prevHash = b.Hash()
+		next++
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zugchain/internal/crypto"
+)
+
+// ParsePeers parses the -peers/-replicas flag format: a comma-separated
+// list of id=host:port entries, e.g.
+//
+//	0=localhost:7100,1=localhost:7101
+func ParsePeers(s string) (map[crypto.NodeID]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty peer list")
+	}
+	peers := make(map[crypto.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad peer %q, want id=host:port", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		if _, dup := peers[crypto.NodeID(id)]; dup {
+			return nil, fmt.Errorf("duplicate peer id %d", id)
+		}
+		peers[crypto.NodeID(id)] = kv[1]
+	}
+	return peers, nil
+}

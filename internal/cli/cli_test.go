@@ -1,0 +1,35 @@
+package cli
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("0=localhost:7100, 1=10.0.0.2:7101,2=host:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0] != "localhost:7100" || peers[1] != "10.0.0.2:7101" {
+		t.Errorf("peers = %v", peers)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"whitespace", "   "},
+		{"missing equals", "0localhost:7100"},
+		{"missing addr", "0="},
+		{"missing id", "=localhost:1"},
+		{"non-numeric id", "abc=localhost:1"},
+		{"duplicate id", "0=a:1,0=b:2"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParsePeers(tt.in); err == nil {
+				t.Errorf("ParsePeers(%q) succeeded", tt.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,492 @@
+// Package core implements the ZugChain communication layer — the paper's
+// primary contribution (§III-C, Algorithm 1). It adapts a primary-based BFT
+// protocol to input arriving over an unauthenticated, unreliable bus read
+// independently by every node:
+//
+//   - content-based duplicate filtering (payload digests against a sliding
+//     window of decided requests plus the open-request queue), so identical
+//     input read by all nodes is ordered only once;
+//   - primary-aware proposing: only the node co-located with the current
+//     primary proposes bus input directly;
+//   - a soft timeout per request on backups: if the primary has not ordered
+//     a request in time, the backup signs and broadcasts it;
+//   - a hard timeout detecting censorship, escalating to SUSPECT and a view
+//     change;
+//   - duplicate-proposal detection at DECIDE time, suspecting a primary
+//     that fails to filter;
+//   - a per-origin open-request limit bounding the damage of a flooding
+//     faulty node (§III-C fault (iii));
+//   - support for multiple input sources (one logical queue per source).
+package core
+
+import (
+	"sync"
+	"time"
+
+	"zugchain/internal/clock"
+	"zugchain/internal/crypto"
+	"zugchain/internal/metrics"
+	"zugchain/internal/pbft"
+	"zugchain/internal/transport"
+	"zugchain/internal/wire"
+)
+
+// BFT is the Table I interface ① the layer requires from the ordering
+// module (satisfied by *pbft.Runner). DECIDE and NEWPRIMARY arrive as
+// OnDecide/OnNewPrimary calls from the node wiring.
+type BFT interface {
+	// Propose submits a request for total ordering.
+	Propose(req pbft.Request)
+	// Suspect accuses a node (effective for the current primary) of
+	// misbehaving, initiating a view change.
+	Suspect(id crypto.NodeID)
+}
+
+// Recorder is the Table I interface ② up-call: LOG appends a totally
+// ordered, deduplicated request to the blockchain.
+type Recorder interface {
+	Log(seq uint64, origin crypto.NodeID, payload, sig []byte)
+}
+
+// Config parameterizes the communication layer.
+type Config struct {
+	// ID is the local node.
+	ID crypto.NodeID
+	// SoftTimeout is the backup's wait before broadcasting a request the
+	// primary has not ordered (250 ms in the paper's evaluation).
+	SoftTimeout time.Duration
+	// HardTimeout is the additional wait after broadcasting before the
+	// primary is suspected (250 ms in the paper).
+	HardTimeout time.Duration
+	// MaxOpenPerOrigin bounds concurrently open broadcast requests per
+	// origin node; §III-C derives it from the bus frequency.
+	MaxOpenPerOrigin int
+	// WindowSeqs is the width, in sequence numbers, of the decided-request
+	// sliding window used by inLog. The paper sizes it as a number of past
+	// checkpoints; with a checkpoint interval of 10 the default of 100
+	// covers the last 10 checkpoints. It must be identical on all nodes:
+	// eviction is driven purely by decided sequence numbers, keeping the
+	// dedup decision — and therefore the blockchain — deterministic.
+	WindowSeqs uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.SoftTimeout <= 0 {
+		c.SoftTimeout = 250 * time.Millisecond
+	}
+	if c.HardTimeout <= 0 {
+		c.HardTimeout = 250 * time.Millisecond
+	}
+	if c.MaxOpenPerOrigin <= 0 {
+		c.MaxOpenPerOrigin = 64
+	}
+	if c.WindowSeqs == 0 {
+		c.WindowSeqs = 100
+	}
+}
+
+// timerPhase identifies which Algorithm 1 timer is armed for a request.
+type timerPhase uint8
+
+const (
+	phaseNone timerPhase = iota
+	phaseSoft
+	phaseHard
+)
+
+// reqState tracks one open request in the queue R of Algorithm 1.
+type reqState struct {
+	req      pbft.Request // as received (bus) or as signed by a peer
+	source   int          // input source index (multi-bus support)
+	origin   crypto.NodeID
+	proposed bool // submitted to BFT by this node as primary
+	timer    *timerHandle
+	phase    timerPhase
+	viaPeer  bool // entered R via a peer broadcast (counts toward limits)
+}
+
+// Layer is the ZugChain communication layer for one node. Safe for
+// concurrent use: bus readers, the PBFT runner, and timer goroutines all
+// call in.
+type Layer struct {
+	cfg Config
+	kp  *crypto.KeyPair
+	reg *crypto.Registry
+	bft BFT
+	tr  transport.Transport
+	clk clock.Clock
+	rec Recorder
+
+	mu      sync.Mutex
+	primary crypto.NodeID
+	open    map[crypto.Digest]*reqState // the request queue R
+	decided *decidedWindow              // the inLog sliding window
+	perNode map[crypto.NodeID]int       // open-via-broadcast counts per origin
+	closed  bool
+
+	counters *metrics.Counters
+	latency  *metrics.Latency
+	received map[crypto.Digest]time.Time // for latency measurement
+}
+
+// New creates the layer. tr must be the virtual channel carrying ZCRequest
+// messages (wire tag range 0x30–0x3f); bft is the ordering runner; rec
+// receives LOG up-calls.
+func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, bft BFT, tr transport.Transport, clk clock.Clock, rec Recorder) *Layer {
+	cfg.applyDefaults()
+	l := &Layer{
+		cfg:      cfg,
+		kp:       kp,
+		reg:      reg,
+		bft:      bft,
+		tr:       tr,
+		clk:      clk,
+		rec:      rec,
+		open:     make(map[crypto.Digest]*reqState),
+		decided:  newDecidedWindow(cfg.WindowSeqs),
+		perNode:  make(map[crypto.NodeID]int),
+		counters: &metrics.Counters{},
+		latency:  &metrics.Latency{},
+		received: make(map[crypto.Digest]time.Time),
+	}
+	tr.SetHandler(l.onTransport)
+	return l
+}
+
+// Counters exposes the layer's event counters (proposals, duplicates,
+// broadcasts, suspects) for the evaluation harness.
+func (l *Layer) Counters() *metrics.Counters { return l.counters }
+
+// Latency exposes receive-to-decide latencies.
+func (l *Layer) Latency() *metrics.Latency { return l.latency }
+
+// OpenRequests reports the current size of the request queue R.
+func (l *Layer) OpenRequests() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.open)
+}
+
+// Close stops all timers. The layer must not be used afterwards.
+func (l *Layer) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	for _, st := range l.open {
+		if st.timer != nil {
+			st.timer.stop()
+		}
+	}
+	l.open = make(map[crypto.Digest]*reqState)
+}
+
+// OnBusRecord is RECEIVE of Table I ②: a parsed, filtered record read from
+// input source (bus) src. Algorithm 1 lines 5–11.
+func (l *Layer) OnBusRecord(src int, payload []byte) {
+	digest := crypto.Hash(payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if l.decided.contains(digest) {
+		// Already logged: nothing to do (ln. 7 inLog check; for backups
+		// an already-decided request needs no timer either).
+		l.counters.AddDuplicate()
+		return
+	}
+	if _, inR := l.open[digest]; inR {
+		// Already pending (e.g. a peer broadcast arrived first); the
+		// existing timers cover it.
+		l.counters.AddDuplicate()
+		return
+	}
+
+	st := &reqState{
+		req:    pbft.Request{Payload: payload},
+		source: src,
+		origin: l.cfg.ID,
+	}
+	l.open[digest] = st
+	l.received[digest] = l.clk.Now()
+
+	if l.isPrimaryLocked() {
+		l.proposeLocked(st, l.cfg.ID) // ln. 8–9
+		return
+	}
+	l.armSoftTimeout(digest, st) // ln. 11
+}
+
+// OnDecide is the DECIDE up-call from the BFT module. Algorithm 1 lines
+// 12–20. Must be invoked in sequence-number order (the PBFT runner
+// guarantees this).
+func (l *Layer) OnDecide(seq uint64, req pbft.Request) {
+	digest := req.PayloadDigest()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+
+	if st, ok := l.open[digest]; ok {
+		if !st.proposed {
+			// Our own copy of this payload never had to be ordered:
+			// one duplicate avoided by the filtering.
+			l.counters.AddDuplicate()
+		}
+		l.removeLocked(digest, st) // ln. 13–16: delete from R, cancel timers
+	}
+	if t0, ok := l.received[digest]; ok {
+		l.latency.Record(l.clk.Now().Sub(t0))
+		delete(l.received, digest)
+	}
+
+	if l.decided.contains(digest) {
+		// ln. 17–18: the primary proposed a duplicate inside the sliding
+		// window — it is not filtering correctly.
+		l.counters.AddDuplicate()
+		l.bft.Suspect(l.primary)
+		return
+	}
+
+	// ln. 20: append to the log with the id of the origin node.
+	l.decided.add(digest, seq)
+	l.counters.AddRequest()
+	l.rec.Log(seq, req.Origin, req.Payload, req.Sig)
+}
+
+// OnNewPrimary is the NEWPRIMARY up-call after a view change. Algorithm 1
+// lines 36–43.
+func (l *Layer) OnNewPrimary(view uint64, primary crypto.NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.primary = primary
+	for digest, st := range l.open {
+		if st.timer != nil {
+			st.timer.stop()
+			st.timer = nil
+		}
+		st.phase = phaseNone
+		st.proposed = false
+		if l.isPrimaryLocked() {
+			if !l.decided.contains(digest) {
+				l.proposeLocked(st, st.origin) // ln. 39–41
+			}
+		} else {
+			l.armSoftTimeout(digest, st) // ln. 43
+		}
+	}
+}
+
+// onTransport handles ZCRequest messages from peers: broadcasts after soft
+// timeouts and forwards toward the primary. Algorithm 1 lines 25–32.
+func (l *Layer) onTransport(from crypto.NodeID, data []byte) {
+	msg, err := wire.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	zc, ok := msg.(*ZCRequest)
+	if !ok {
+		return
+	}
+	req := zc.Req
+	if err := pbft.VerifyRequest(&req, l.reg); err != nil {
+		return // unauthenticated peer request
+	}
+	digest := req.PayloadDigest()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if l.decided.contains(digest) {
+		l.counters.AddDuplicate()
+		return // ln. 26–27: already in the log
+	}
+
+	if st, inR := l.open[digest]; inR {
+		// Already pending. If we are the primary and have not proposed it
+		// (it entered R before we became primary, and OnNewPrimary has
+		// run — normally impossible — or it arrived from the bus while
+		// not primary), the proposal path below covers it; otherwise the
+		// existing timers cover it.
+		if l.isPrimaryLocked() && !st.proposed {
+			l.proposeLocked(st, st.origin)
+		}
+		return
+	}
+
+	// New to us: admitted subject to the per-origin limit (fault (iii)).
+	if l.perNode[req.Origin] >= l.cfg.MaxOpenPerOrigin {
+		l.counters.AddDuplicate() // accounted as filtered load
+		return
+	}
+
+	st := &reqState{
+		req:     req,
+		origin:  req.Origin,
+		viaPeer: true,
+	}
+	l.open[digest] = st
+	l.perNode[req.Origin]++
+	l.received[digest] = l.clk.Now()
+
+	if l.isPrimaryLocked() {
+		l.proposeLocked(st, req.Origin) // ln. 28–29: keep broadcaster's id
+		return
+	}
+	// ln. 31–32: arm a hard timeout and forward toward the primary so a
+	// faulty broadcaster that skipped the primary cannot cause a false
+	// suspicion.
+	l.armHardTimeout(digest, st)
+	l.forwardLocked(req)
+}
+
+// --- internal helpers (callers hold l.mu) ---
+
+func (l *Layer) isPrimaryLocked() bool { return l.primary == l.cfg.ID }
+
+// proposeLocked signs (if the request is our own bus input) and submits to
+// the BFT module.
+func (l *Layer) proposeLocked(st *reqState, origin crypto.NodeID) {
+	if st.proposed {
+		return
+	}
+	st.proposed = true
+	if st.req.Sig == nil {
+		// Our own bus input: authenticate and include our node id (ln. 8).
+		pbft.SignRequest(&st.req, l.kp)
+		st.origin = l.cfg.ID
+		l.counters.AddSignature()
+	}
+	_ = origin // the id travels inside the signed request
+	l.bft.Propose(st.req)
+}
+
+// armSoftTimeout starts the backup's wait for the primary (ln. 11).
+func (l *Layer) armSoftTimeout(digest crypto.Digest, st *reqState) {
+	st.phase = phaseSoft
+	st.timer = l.armTimer(l.cfg.SoftTimeout, func() { l.onSoftTimeout(digest) })
+}
+
+// armHardTimeout starts the censorship-detection wait (ln. 23, 31).
+func (l *Layer) armHardTimeout(digest crypto.Digest, st *reqState) {
+	st.phase = phaseHard
+	st.timer = l.armTimer(l.cfg.HardTimeout, func() { l.onHardTimeout(digest) })
+}
+
+// OnPrePrepared implements the §III-C optimization: the primary's accepted
+// preprepare indicates the request will be ordered, so the soft timeout can
+// be cancelled early — saving the needless broadcast. The hard timeout
+// replaces it, keeping censorship detection intact in case the preprepare
+// never commits.
+func (l *Layer) OnPrePrepared(payloadDigest crypto.Digest) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.open[payloadDigest]
+	if !ok || l.closed || st.phase != phaseSoft {
+		return
+	}
+	if st.timer != nil {
+		st.timer.stop()
+	}
+	l.armHardTimeout(payloadDigest, st)
+}
+
+// onSoftTimeout implements lines 21–24: sign, broadcast, escalate to the
+// hard timeout.
+func (l *Layer) onSoftTimeout(digest crypto.Digest) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.open[digest]
+	if !ok || l.closed {
+		return // decided in the meantime
+	}
+	if st.req.Sig == nil {
+		pbft.SignRequest(&st.req, l.kp)
+		st.origin = l.cfg.ID
+		l.counters.AddSignature()
+	}
+	l.armHardTimeout(digest, st)
+	data := wire.Marshal(&ZCRequest{Req: st.req})
+	l.counters.AddSent(len(data))
+	_ = l.tr.Broadcast(data)
+}
+
+// onHardTimeout implements lines 33–35: the request is still not in the
+// log; suspect the primary.
+func (l *Layer) onHardTimeout(digest crypto.Digest) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.open[digest]
+	if !ok || l.closed {
+		return
+	}
+	st.timer = nil
+	st.phase = phaseNone
+	l.bft.Suspect(l.primary)
+}
+
+// forwardLocked sends the request directly to the primary (ln. 32).
+func (l *Layer) forwardLocked(req pbft.Request) {
+	if l.primary == l.cfg.ID {
+		return
+	}
+	data := wire.Marshal(&ZCRequest{Req: req})
+	l.counters.AddSent(len(data))
+	_ = l.tr.Send(l.primary, data)
+}
+
+// removeLocked deletes a request from R and cancels its timer.
+func (l *Layer) removeLocked(digest crypto.Digest, st *reqState) {
+	if st.timer != nil {
+		st.timer.stop()
+		st.timer = nil
+	}
+	st.phase = phaseNone
+	if st.viaPeer {
+		if l.perNode[st.origin] > 0 {
+			l.perNode[st.origin]--
+		}
+	}
+	delete(l.open, digest)
+}
+
+// timerHandle wraps a clock timer with cancellation of its waiter goroutine.
+type timerHandle struct {
+	timer  clock.Timer
+	cancel chan struct{}
+	once   sync.Once
+}
+
+func (l *Layer) armTimer(d time.Duration, fn func()) *timerHandle {
+	h := &timerHandle{
+		timer:  l.clk.NewTimer(d),
+		cancel: make(chan struct{}),
+	}
+	go func() {
+		select {
+		case <-h.timer.C():
+			// The select picks randomly when both channels are ready:
+			// a timer that fired concurrently with its cancellation
+			// must not run the callback.
+			select {
+			case <-h.cancel:
+				return
+			default:
+			}
+			fn()
+		case <-h.cancel:
+			h.timer.Stop()
+		}
+	}()
+	return h
+}
+
+func (h *timerHandle) stop() {
+	h.once.Do(func() { close(h.cancel) })
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"zugchain/internal/crypto"
+	"zugchain/internal/pbft"
+	"zugchain/internal/wire"
+)
+
+// Wire type tags for communication-layer messages (range 0x30–0x3f).
+const typeZCRequest wire.Type = 0x30
+
+func init() {
+	wire.Register(typeZCRequest, func() wire.Message { return new(ZCRequest) })
+}
+
+// ZCRequest carries a signed request between ZugChain nodes: the BROADCAST
+// of Algorithm 1 line 24 and the forward-to-primary of line 32. The request
+// signature identifies and authenticates the origin; the message itself
+// needs no further signature.
+type ZCRequest struct {
+	Req pbft.Request
+}
+
+// WireType implements wire.Message.
+func (m *ZCRequest) WireType() wire.Type { return typeZCRequest }
+
+// EncodeWire implements wire.Message.
+func (m *ZCRequest) EncodeWire(e *wire.Encoder) {
+	e.Bytes(m.Req.Payload)
+	e.Uint32(uint32(m.Req.Origin))
+	e.Bytes(m.Req.Sig)
+}
+
+// DecodeWire implements wire.Message.
+func (m *ZCRequest) DecodeWire(d *wire.Decoder) {
+	m.Req.Payload = d.BytesCopy()
+	m.Req.Origin = crypto.NodeID(d.Uint32())
+	m.Req.Sig = d.BytesCopy()
+}

@@ -1,0 +1,75 @@
+package core
+
+import "zugchain/internal/crypto"
+
+// decidedWindow is the inLog structure of Algorithm 1: "a hashmap over the
+// requests of a sliding window of past checkpoints". It maps payload
+// digests of recently decided requests to their sequence numbers and evicts
+// entries once the decide stream has advanced past the window width.
+// Eviction depends only on decided sequence numbers, so all correct nodes
+// hold identical windows after identical decide streams — which keeps the
+// duplicate-filtering decision, and therefore the blockchain content,
+// deterministic across replicas.
+type decidedWindow struct {
+	width   uint64
+	entries map[crypto.Digest]uint64
+	order   []windowEntry // FIFO in decide order for cheap eviction
+}
+
+type windowEntry struct {
+	digest crypto.Digest
+	seq    uint64
+}
+
+func newDecidedWindow(width uint64) *decidedWindow {
+	return &decidedWindow{
+		width:   width,
+		entries: make(map[crypto.Digest]uint64),
+	}
+}
+
+// contains reports whether digest was decided within the window.
+func (w *decidedWindow) contains(digest crypto.Digest) bool {
+	_, ok := w.entries[digest]
+	return ok
+}
+
+// seqOf returns the decide sequence number for digest, if present.
+func (w *decidedWindow) seqOf(digest crypto.Digest) (uint64, bool) {
+	seq, ok := w.entries[digest]
+	return seq, ok
+}
+
+// add records a decided digest and evicts entries older than the window.
+func (w *decidedWindow) add(digest crypto.Digest, seq uint64) {
+	w.entries[digest] = seq
+	w.order = append(w.order, windowEntry{digest: digest, seq: seq})
+	w.evict(seq)
+}
+
+// evict drops entries with seq <= current - width.
+func (w *decidedWindow) evict(current uint64) {
+	if current <= w.width {
+		return
+	}
+	cutoff := current - w.width
+	i := 0
+	for ; i < len(w.order); i++ {
+		e := w.order[i]
+		if e.seq > cutoff {
+			break
+		}
+		// Only delete if the map still points at this occurrence: a
+		// duplicate logged after window eviction re-adds the digest with
+		// a newer seq, which must survive.
+		if cur, ok := w.entries[e.digest]; ok && cur == e.seq {
+			delete(w.entries, e.digest)
+		}
+	}
+	if i > 0 {
+		w.order = append(w.order[:0], w.order[i:]...)
+	}
+}
+
+// len reports the number of digests currently in the window.
+func (w *decidedWindow) len() int { return len(w.entries) }

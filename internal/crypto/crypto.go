@@ -1,0 +1,163 @@
+// Package crypto provides the node identities and Ed25519 signing primitives
+// used throughout ZugChain. Every replica and every data center owns a key
+// pair; all protocol messages (ordering, checkpoint, view change, export)
+// are signed, matching the paper's use of ring's Ed25519 (§IV).
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a participant: a ZugChain replica or a data center.
+// Replica IDs are dense, starting at 0, because PBFT selects the primary as
+// view mod n. Data centers use a disjoint high range (see DataCenterIDBase).
+type NodeID uint32
+
+// DataCenterIDBase is the first NodeID used for data centers, keeping them
+// out of the replica ID space.
+const DataCenterIDBase NodeID = 1 << 16
+
+// String renders the ID, distinguishing replicas from data centers.
+func (id NodeID) String() string {
+	if id >= DataCenterIDBase {
+		return fmt.Sprintf("dc%d", uint32(id-DataCenterIDBase))
+	}
+	return fmt.Sprintf("r%d", uint32(id))
+}
+
+// Digest is a SHA-256 hash, used for request payload identity, block
+// hashes, and checkpoint digests.
+type Digest [32]byte
+
+// Hash returns the SHA-256 digest of data.
+func Hash(data []byte) Digest { return sha256.Sum256(data) }
+
+// ZeroDigest reports whether d is the all-zero digest.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// Short returns an 8-hex-character prefix for logs.
+func (d Digest) Short() string { return hex.EncodeToString(d[:4]) }
+
+// SignatureSize is the size of an Ed25519 signature in bytes.
+const SignatureSize = ed25519.SignatureSize
+
+// Signing errors.
+var (
+	ErrUnknownSigner    = errors.New("crypto: unknown signer")
+	ErrInvalidSignature = errors.New("crypto: invalid signature")
+)
+
+// KeyPair is a node identity with its private key.
+type KeyPair struct {
+	ID      NodeID
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+}
+
+// GenerateKeyPair creates a fresh Ed25519 key pair for id. If rng is nil,
+// crypto/rand.Reader is used.
+func GenerateKeyPair(id NodeID, rng io.Reader) (*KeyPair, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	pub, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: generate key for %v: %w", id, err)
+	}
+	return &KeyPair{ID: id, Public: pub, private: priv}, nil
+}
+
+// KeyPairFromPrivate reconstructs a key pair from a stored private key,
+// e.g. when loading a keyring from disk.
+func KeyPairFromPrivate(id NodeID, priv ed25519.PrivateKey) *KeyPair {
+	pub, _ := priv.Public().(ed25519.PublicKey)
+	return &KeyPair{ID: id, Public: pub, private: priv}
+}
+
+// MustGenerateKeyPair is GenerateKeyPair for tests and setup code where key
+// generation cannot reasonably fail.
+func MustGenerateKeyPair(id NodeID) *KeyPair {
+	kp, err := GenerateKeyPair(id, nil)
+	if err != nil {
+		panic(err)
+	}
+	return kp
+}
+
+// Sign signs msg with the node's private key.
+func (k *KeyPair) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.private, msg)
+}
+
+// Registry maps node IDs to public keys and verifies signatures. It is
+// immutable after construction apart from Add, and safe for concurrent use.
+// In a deployment it corresponds to the key material distributed to all
+// participants at train commissioning (§III-B: "all nodes are equipped with
+// a public-private key pair").
+type Registry struct {
+	mu   sync.RWMutex
+	keys map[NodeID]ed25519.PublicKey
+}
+
+// NewRegistry builds a registry from the given key pairs' public halves.
+func NewRegistry(pairs ...*KeyPair) *Registry {
+	r := &Registry{keys: make(map[NodeID]ed25519.PublicKey, len(pairs))}
+	for _, kp := range pairs {
+		r.keys[kp.ID] = kp.Public
+	}
+	return r
+}
+
+// Add registers a public key, e.g. a data center key learned at setup.
+func (r *Registry) Add(id NodeID, pub ed25519.PublicKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys[id] = pub
+}
+
+// PublicKey returns the key for id, if known.
+func (r *Registry) PublicKey(id NodeID) (ed25519.PublicKey, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pub, ok := r.keys[id]
+	return pub, ok
+}
+
+// IDs returns all registered node IDs in ascending order.
+func (r *Registry) IDs() []NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]NodeID, 0, len(r.keys))
+	for id := range r.keys {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len reports the number of registered keys.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.keys)
+}
+
+// Verify checks that sig is a valid signature by id over msg.
+func (r *Registry) Verify(id NodeID, msg, sig []byte) error {
+	pub, ok := r.PublicKey(id)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownSigner, id)
+	}
+	if len(sig) != ed25519.SignatureSize || !ed25519.Verify(pub, msg, sig) {
+		return fmt.Errorf("%w: from %v", ErrInvalidSignature, id)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignVerify(t *testing.T) {
+	kp := MustGenerateKeyPair(0)
+	reg := NewRegistry(kp)
+
+	msg := []byte("juridical event")
+	sig := kp.Sign(msg)
+	if err := reg.Verify(0, msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	kp := MustGenerateKeyPair(1)
+	reg := NewRegistry(kp)
+
+	msg := []byte("speed=120")
+	sig := kp.Sign(msg)
+	msg[0] ^= 0x01
+	if err := reg.Verify(1, msg, sig); !errors.Is(err, ErrInvalidSignature) {
+		t.Errorf("Verify = %v, want ErrInvalidSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	a := MustGenerateKeyPair(0)
+	b := MustGenerateKeyPair(1)
+	reg := NewRegistry(a, b)
+
+	msg := []byte("brake")
+	sig := a.Sign(msg)
+	if err := reg.Verify(1, msg, sig); !errors.Is(err, ErrInvalidSignature) {
+		t.Errorf("Verify = %v, want ErrInvalidSignature", err)
+	}
+}
+
+func TestVerifyUnknownSigner(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Verify(7, []byte("x"), make([]byte, SignatureSize)); !errors.Is(err, ErrUnknownSigner) {
+		t.Errorf("Verify = %v, want ErrUnknownSigner", err)
+	}
+}
+
+func TestVerifyRejectsMalformedSignature(t *testing.T) {
+	kp := MustGenerateKeyPair(0)
+	reg := NewRegistry(kp)
+	tests := []struct {
+		name string
+		sig  []byte
+	}{
+		{"nil", nil},
+		{"short", make([]byte, SignatureSize-1)},
+		{"long", make([]byte, SignatureSize+1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := reg.Verify(0, []byte("m"), tt.sig); !errors.Is(err, ErrInvalidSignature) {
+				t.Errorf("Verify = %v, want ErrInvalidSignature", err)
+			}
+		})
+	}
+}
+
+func TestRegistryAddAndIDs(t *testing.T) {
+	a := MustGenerateKeyPair(2)
+	b := MustGenerateKeyPair(0)
+	reg := NewRegistry(a, b)
+
+	dc := MustGenerateKeyPair(DataCenterIDBase)
+	reg.Add(dc.ID, dc.Public)
+
+	ids := reg.IDs()
+	want := []NodeID{0, 2, DataCenterIDBase}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("IDs()[%d] = %v, want %v", i, ids[i], want[i])
+		}
+	}
+	if reg.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", reg.Len())
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	tests := []struct {
+		id   NodeID
+		want string
+	}{
+		{0, "r0"},
+		{3, "r3"},
+		{DataCenterIDBase, "dc0"},
+		{DataCenterIDBase + 2, "dc2"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("NodeID(%d).String() = %q, want %q", uint32(tt.id), got, tt.want)
+		}
+	}
+}
+
+func TestDigest(t *testing.T) {
+	d1 := Hash([]byte("a"))
+	d2 := Hash([]byte("a"))
+	d3 := Hash([]byte("b"))
+	if d1 != d2 {
+		t.Error("Hash not deterministic")
+	}
+	if d1 == d3 {
+		t.Error("distinct inputs collided")
+	}
+	if d1.IsZero() {
+		t.Error("nonempty hash reported zero")
+	}
+	var z Digest
+	if !z.IsZero() {
+		t.Error("zero digest not reported zero")
+	}
+	if len(d1.Short()) != 8 {
+		t.Errorf("Short() = %q, want 8 hex chars", d1.Short())
+	}
+}
+
+// Property: a signature over any message verifies, and flipping any single
+// bit of the message defeats verification.
+func TestSignaturePropertyFlippedBit(t *testing.T) {
+	kp := MustGenerateKeyPair(0)
+	reg := NewRegistry(kp)
+	f := func(msg []byte, flip uint) bool {
+		if len(msg) == 0 {
+			msg = []byte{0}
+		}
+		sig := kp.Sign(msg)
+		if reg.Verify(0, msg, sig) != nil {
+			return false
+		}
+		i := int(flip % uint(len(msg)*8))
+		msg[i/8] ^= 1 << (i % 8)
+		return reg.Verify(0, msg, sig) != nil
+	}
+	cfg := &quick.Config{MaxCount: 25} // signing is slow; keep the count modest
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

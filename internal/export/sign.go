@@ -1,0 +1,73 @@
+package export
+
+import (
+	"errors"
+
+	"zugchain/internal/crypto"
+	"zugchain/internal/wire"
+)
+
+// Export protocol errors.
+var (
+	// ErrInsufficientDeletes indicates a delete certificate below quorum
+	// (§III-D error (iii)).
+	ErrInsufficientDeletes = errors.New("export: insufficient matching deletes")
+	// ErrReadTimeout indicates too few read replies arrived in time.
+	ErrReadTimeout = errors.New("export: timed out waiting for read replies")
+	// ErrNoCheckpoint indicates no verifiable stable checkpoint was
+	// offered by any replica.
+	ErrNoCheckpoint = errors.New("export: no valid stable checkpoint received")
+)
+
+// signableMsg mirrors pbft's internal signing convention: the signature
+// covers the wire encoding with the Sig field emptied.
+type signableMsg interface {
+	wire.Message
+	signer() crypto.NodeID
+	signature() []byte
+	setSignature(sig []byte)
+}
+
+func (m *ReadRequest) signer() crypto.NodeID   { return m.DC }
+func (m *ReadRequest) signature() []byte       { return m.Sig }
+func (m *ReadRequest) setSignature(sig []byte) { m.Sig = sig }
+
+func (m *ReadReply) signer() crypto.NodeID   { return m.Replica }
+func (m *ReadReply) signature() []byte       { return m.Sig }
+func (m *ReadReply) setSignature(sig []byte) { m.Sig = sig }
+
+func (m *Delete) signer() crypto.NodeID   { return m.DC }
+func (m *Delete) signature() []byte       { return m.Sig }
+func (m *Delete) setSignature(sig []byte) { m.Sig = sig }
+
+func (m *DeleteAck) signer() crypto.NodeID   { return m.Replica }
+func (m *DeleteAck) signature() []byte       { return m.Sig }
+func (m *DeleteAck) setSignature(sig []byte) { m.Sig = sig }
+
+func (m *StateRequest) signer() crypto.NodeID   { return m.Replica }
+func (m *StateRequest) signature() []byte       { return m.Sig }
+func (m *StateRequest) setSignature(sig []byte) { m.Sig = sig }
+
+func (m *StateReply) signer() crypto.NodeID   { return m.Replica }
+func (m *StateReply) signature() []byte       { return m.Sig }
+func (m *StateReply) setSignature(sig []byte) { m.Sig = sig }
+
+func signingBytes(m signableMsg) []byte {
+	saved := m.signature()
+	m.setSignature(nil)
+	e := wire.NewEncoder(256)
+	e.Uint16(uint16(m.WireType()))
+	m.EncodeWire(e)
+	m.setSignature(saved)
+	out := make([]byte, e.Len())
+	copy(out, e.Data())
+	return out
+}
+
+func signMsg(m signableMsg, kp *crypto.KeyPair) {
+	m.setSignature(kp.Sign(signingBytes(m)))
+}
+
+func verifyMsg(m signableMsg, reg *crypto.Registry) error {
+	return reg.Verify(m.signer(), signingBytes(m), m.signature())
+}

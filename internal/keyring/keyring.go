@@ -1,0 +1,134 @@
+// Package keyring persists the cluster's key material for multi-process
+// deployments: every replica's and data center's Ed25519 key pair in one
+// JSON file, corresponding to the keys distributed to the train components
+// at commissioning (§III-B). The file contains private keys and is meant
+// for lab and testbed use; a production deployment would provision each
+// node with only its own private key plus the public set.
+package keyring
+
+import (
+	"crypto/ed25519"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"zugchain/internal/crypto"
+)
+
+// Entry is one participant's key material.
+type Entry struct {
+	ID      uint32 `json:"id"`
+	Public  string `json:"public"`  // base64 Ed25519 public key
+	Private string `json:"private"` // base64 Ed25519 private key (seed||pub)
+}
+
+// File is the serialized keyring.
+type File struct {
+	Replicas    []Entry `json:"replicas"`
+	DataCenters []Entry `json:"dataCenters"`
+}
+
+// Generate creates key material for nReplicas replicas (IDs 0..n-1) and
+// nDCs data centers (IDs DataCenterIDBase..).
+func Generate(nReplicas, nDCs int) (*File, error) {
+	f := &File{}
+	for i := 0; i < nReplicas; i++ {
+		e, err := newEntry(uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		f.Replicas = append(f.Replicas, e)
+	}
+	for i := 0; i < nDCs; i++ {
+		e, err := newEntry(uint32(crypto.DataCenterIDBase) + uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		f.DataCenters = append(f.DataCenters, e)
+	}
+	return f, nil
+}
+
+func newEntry(id uint32) (Entry, error) {
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return Entry{}, fmt.Errorf("keyring: generate key %d: %w", id, err)
+	}
+	return Entry{
+		ID:      id,
+		Public:  base64.StdEncoding.EncodeToString(pub),
+		Private: base64.StdEncoding.EncodeToString(priv),
+	}, nil
+}
+
+// Save writes the keyring to path with restrictive permissions.
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("keyring: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		return fmt.Errorf("keyring: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a keyring from path.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("keyring: read %s: %w", path, err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("keyring: parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Registry builds the public-key registry over every entry in the file.
+func (f *File) Registry() (*crypto.Registry, error) {
+	reg := crypto.NewRegistry()
+	for _, e := range append(append([]Entry{}, f.Replicas...), f.DataCenters...) {
+		pub, err := base64.StdEncoding.DecodeString(e.Public)
+		if err != nil || len(pub) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("keyring: bad public key for id %d", e.ID)
+		}
+		reg.Add(crypto.NodeID(e.ID), ed25519.PublicKey(pub))
+	}
+	return reg, nil
+}
+
+// KeyPair reconstructs the key pair for id, which must be present.
+func (f *File) KeyPair(id crypto.NodeID) (*crypto.KeyPair, error) {
+	for _, e := range append(append([]Entry{}, f.Replicas...), f.DataCenters...) {
+		if crypto.NodeID(e.ID) != id {
+			continue
+		}
+		priv, err := base64.StdEncoding.DecodeString(e.Private)
+		if err != nil || len(priv) != ed25519.PrivateKeySize {
+			return nil, fmt.Errorf("keyring: bad private key for id %d", e.ID)
+		}
+		return crypto.KeyPairFromPrivate(id, ed25519.PrivateKey(priv)), nil
+	}
+	return nil, fmt.Errorf("keyring: id %v not found", id)
+}
+
+// ReplicaIDs lists the replica IDs in file order.
+func (f *File) ReplicaIDs() []crypto.NodeID {
+	ids := make([]crypto.NodeID, 0, len(f.Replicas))
+	for _, e := range f.Replicas {
+		ids = append(ids, crypto.NodeID(e.ID))
+	}
+	return ids
+}
+
+// DataCenterIDs lists the data center IDs in file order.
+func (f *File) DataCenterIDs() []crypto.NodeID {
+	ids := make([]crypto.NodeID, 0, len(f.DataCenters))
+	for _, e := range f.DataCenters {
+		ids = append(ids, crypto.NodeID(e.ID))
+	}
+	return ids
+}

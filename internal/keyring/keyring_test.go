@@ -1,0 +1,85 @@
+package keyring
+
+import (
+	"path/filepath"
+	"testing"
+
+	"zugchain/internal/crypto"
+)
+
+func TestGenerateSaveLoadRoundTrip(t *testing.T) {
+	f, err := Generate(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Replicas) != 4 || len(f.DataCenters) != 2 {
+		t.Fatalf("generated %d/%d entries", len(f.Replicas), len(f.DataCenters))
+	}
+
+	path := filepath.Join(t.TempDir(), "keys.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := loaded.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 6 {
+		t.Errorf("registry has %d keys", reg.Len())
+	}
+
+	// A loaded key pair must produce signatures the registry accepts.
+	kp, err := loaded.KeyPair(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("signed after reload")
+	if err := reg.Verify(2, msg, kp.Sign(msg)); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+
+	dcID := crypto.DataCenterIDBase + 1
+	dcKP, err := loaded.KeyPair(dcID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Verify(dcID, msg, dcKP.Sign(msg)); err != nil {
+		t.Errorf("DC Verify: %v", err)
+	}
+}
+
+func TestIDs(t *testing.T) {
+	f, err := Generate(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := f.ReplicaIDs()
+	if len(ids) != 4 || ids[0] != 0 || ids[3] != 3 {
+		t.Errorf("ReplicaIDs = %v", ids)
+	}
+	dcs := f.DataCenterIDs()
+	if len(dcs) != 1 || dcs[0] != crypto.DataCenterIDBase {
+		t.Errorf("DataCenterIDs = %v", dcs)
+	}
+}
+
+func TestKeyPairUnknownID(t *testing.T) {
+	f, err := Generate(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.KeyPair(99); err == nil {
+		t.Error("want error for unknown id")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("want error for missing file")
+	}
+}

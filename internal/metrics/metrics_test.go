@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	c.AddSent(100)
+	c.AddSent(50)
+	c.AddReceived(30)
+	c.AddSignature()
+	c.AddVerification()
+	c.AddVerification()
+	c.AddRequest()
+	c.AddDuplicate()
+
+	s := c.Snapshot()
+	if s.MsgsSent != 2 || s.BytesSent != 150 {
+		t.Errorf("sent = %d msgs / %d bytes, want 2/150", s.MsgsSent, s.BytesSent)
+	}
+	if s.MsgsReceived != 1 || s.BytesReceived != 30 {
+		t.Errorf("received = %d msgs / %d bytes, want 1/30", s.MsgsReceived, s.BytesReceived)
+	}
+	if s.Signatures != 1 || s.Verifications != 2 {
+		t.Errorf("crypto = %d sigs / %d verifies", s.Signatures, s.Verifications)
+	}
+	if s.Requests != 1 || s.Duplicates != 1 {
+		t.Errorf("requests = %d, duplicates = %d", s.Requests, s.Duplicates)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.AddSent(10)
+	before := c.Snapshot()
+	c.AddSent(25)
+	c.AddRequest()
+	diff := c.Snapshot().Sub(before)
+	if diff.MsgsSent != 1 || diff.BytesSent != 25 || diff.Requests != 1 {
+		t.Errorf("diff = %+v", diff)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddSent(1)
+				c.AddReceived(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.MsgsSent != 8000 || s.BytesReceived != 16000 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestCPUWorkUnitsMonotone(t *testing.T) {
+	light := CounterSnapshot{MsgsSent: 10, BytesSent: 1000}
+	heavy := CounterSnapshot{MsgsSent: 10, BytesSent: 1000, Signatures: 5, Verifications: 20}
+	if light.CPUWorkUnits() >= heavy.CPUWorkUnits() {
+		t.Errorf("work proxy not monotone: light=%v heavy=%v",
+			light.CPUWorkUnits(), heavy.CPUWorkUnits())
+	}
+	var zero CounterSnapshot
+	if zero.CPUWorkUnits() != 0 {
+		t.Errorf("zero snapshot work = %v", zero.CPUWorkUnits())
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := l.Stats()
+	if s.Count != 100 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", s.Mean)
+	}
+	if s.Median != 51*time.Millisecond {
+		t.Errorf("Median = %v, want 51ms", s.Median)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("P99 = %v, want 99ms", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", s.Max)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if s := l.Stats(); s != (LatencyStats{}) {
+		t.Errorf("Stats() on empty = %+v", s)
+	}
+}
+
+func TestLatencySingleSample(t *testing.T) {
+	var l Latency
+	l.Record(7 * time.Millisecond)
+	s := l.Stats()
+	if s.Mean != 7*time.Millisecond || s.Median != 7*time.Millisecond ||
+		s.P99 != 7*time.Millisecond || s.Max != 7*time.Millisecond {
+		t.Errorf("Stats() = %+v", s)
+	}
+}
+
+func TestLatencySamplesOrderAndReset(t *testing.T) {
+	var l Latency
+	l.Record(3 * time.Millisecond)
+	l.Record(1 * time.Millisecond)
+	l.Record(2 * time.Millisecond)
+	got := l.Samples()
+	want := []time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Samples()[%d] = %v, want %v (arrival order)", i, got[i], want[i])
+		}
+	}
+	l.Reset()
+	if l.Count() != 0 {
+		t.Errorf("Count after Reset = %d", l.Count())
+	}
+}
+
+func TestPercentileIndex(t *testing.T) {
+	tests := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{1, 0.99, 0},
+		{100, 0.99, 98},
+		{100, 0.50, 49},
+		{10, 1.0, 9},
+		{10, 0.0, 0},
+	}
+	for _, tt := range tests {
+		if got := percentileIndex(tt.n, tt.p); got != tt.want {
+			t.Errorf("percentileIndex(%d, %v) = %d, want %d", tt.n, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSampleMemory(t *testing.T) {
+	s := SampleMemory()
+	if s.HeapAlloc == 0 || s.TotalAlloc == 0 {
+		t.Errorf("memory sample = %+v, want nonzero alloc", s)
+	}
+}

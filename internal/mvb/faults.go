@@ -1,0 +1,121 @@
+package mvb
+
+import "math/rand"
+
+// FaultConfig describes the per-reader bus fault profile of §III-B: "messages
+// from the bus can be dropped or reordered ... It is also possible for nodes
+// to read diverging input during the same bus cycle." Probabilities are per
+// frame, independent across readers.
+type FaultConfig struct {
+	// DropRate is the probability that a reader misses a whole frame
+	// ("a replica does not receive any signals in a cycle").
+	DropRate float64
+	// BitFlipRate is the probability that one random bit of one random
+	// port's data is flipped during reception, per the MVB error study [9].
+	BitFlipRate float64
+	// DelayRate is the probability that a frame is not delivered in its
+	// own cycle but held and delivered before the next one ("all signals
+	// from one bus cycle are received during a different one").
+	DelayRate float64
+	// DivergeRate is the probability that one port's data is replaced by
+	// a corrupted-but-well-formed variant only this reader sees, yielding
+	// diverging input across nodes.
+	DivergeRate float64
+}
+
+// Reader is one node's attachment to the bus.
+type Reader struct {
+	faults  FaultConfig
+	rng     *rand.Rand
+	ch      chan Frame
+	delayed *Frame // frame held back by a delay fault
+	dropped uint64
+}
+
+// C returns the channel on which received frames are delivered.
+func (r *Reader) C() <-chan Frame { return r.ch }
+
+// Dropped reports how many frames this reader lost to drops or a full
+// buffer.
+func (r *Reader) Dropped() uint64 { return r.dropped }
+
+// offer runs the fault injector and enqueues the frame(s) for the reader.
+// It is called by the bus master goroutine only, so reader-local state
+// (rng, delayed) needs no locking.
+func (r *Reader) offer(frame Frame) {
+	// A frame held back by an earlier delay fault arrives together with
+	// the current one, i.e. one cycle late and out of order.
+	if r.delayed != nil {
+		held := *r.delayed
+		r.delayed = nil
+		defer r.enqueue(held)
+	}
+
+	if r.faults.DropRate > 0 && r.rng.Float64() < r.faults.DropRate {
+		r.dropped++
+		return
+	}
+
+	needsMutation := false
+	bitFlip := r.faults.BitFlipRate > 0 && r.rng.Float64() < r.faults.BitFlipRate
+	diverge := r.faults.DivergeRate > 0 && r.rng.Float64() < r.faults.DivergeRate
+	if bitFlip || diverge {
+		needsMutation = true
+	}
+	if needsMutation {
+		frame.Ports = clonePorts(frame.Ports)
+		if bitFlip {
+			r.flipRandomBit(&frame)
+		}
+		if diverge {
+			r.divergePort(&frame)
+		}
+	}
+
+	if r.faults.DelayRate > 0 && r.rng.Float64() < r.faults.DelayRate {
+		held := frame
+		r.delayed = &held
+		return
+	}
+	r.enqueue(frame)
+}
+
+func (r *Reader) enqueue(frame Frame) {
+	select {
+	case r.ch <- frame:
+	default:
+		// Reader not draining: the frame is lost, exactly like a real
+		// device missing its bus window.
+		r.dropped++
+	}
+}
+
+// flipRandomBit flips one random bit in one random port's data.
+func (r *Reader) flipRandomBit(f *Frame) {
+	if len(f.Ports) == 0 {
+		return
+	}
+	p := &f.Ports[r.rng.Intn(len(f.Ports))]
+	if len(p.Data) == 0 {
+		return
+	}
+	bit := r.rng.Intn(len(p.Data) * 8)
+	p.Data[bit/8] ^= 1 << (bit % 8)
+}
+
+// divergePort rewrites one port with well-formed but different bytes by
+// perturbing the last data byte's low bits in a way that keeps the encoding
+// parseable for small numeric fields. It models a node legitimately reading
+// a slightly different value in the same cycle.
+func (r *Reader) divergePort(f *Frame) {
+	if len(f.Ports) == 0 {
+		return
+	}
+	p := &f.Ports[r.rng.Intn(len(f.Ports))]
+	if len(p.Data) < 14 {
+		return
+	}
+	// Port layout (signal.EncodePort): kind(1) float64(8) uint32(4) bytes.
+	// Perturb the Discrete field, which any uint32 value keeps valid.
+	p.Data[9+r.rng.Intn(4)] ^= 0x01
+}

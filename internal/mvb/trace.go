@@ -1,0 +1,157 @@
+package mvb
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"zugchain/internal/wire"
+)
+
+// Trace recording and replay: the paper validates its bus simulation
+// against real MVB data ("The results are consistent with the simulation",
+// §V-A). TraceWriter captures the frames a bus produced; TraceDevice
+// replays a captured trace as a bus device, so recorded real-bus data can
+// drive the whole pipeline in place of the synthetic generator.
+
+// traceMagic guards against feeding arbitrary files to the replayer.
+var traceMagic = [4]byte{'Z', 'C', 'T', '1'}
+
+// TraceWriter appends frames to a trace stream.
+type TraceWriter struct {
+	w     io.Writer
+	wrote bool
+}
+
+// NewTraceWriter creates a writer emitting to w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: w}
+}
+
+// WriteFrame appends one frame.
+func (t *TraceWriter) WriteFrame(f Frame) error {
+	e := wire.NewEncoder(256)
+	if !t.wrote {
+		e.Bytes32([32]byte{traceMagic[0], traceMagic[1], traceMagic[2], traceMagic[3]})
+		t.wrote = true
+	}
+	e.Uint64(f.Cycle)
+	e.Uvarint(uint64(len(f.Ports)))
+	for _, p := range f.Ports {
+		e.Uint16(p.Port)
+		e.Bytes(p.Data)
+	}
+	if _, err := t.w.Write(e.Data()); err != nil {
+		return fmt.Errorf("mvb: write trace frame: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a complete trace stream into frames.
+func ReadTrace(r io.Reader) ([]Frame, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("mvb: read trace: %w", err)
+	}
+	d := wire.NewDecoder(data)
+	header := d.Bytes32()
+	if d.Err() != nil || header[0] != traceMagic[0] || header[1] != traceMagic[1] ||
+		header[2] != traceMagic[2] || header[3] != traceMagic[3] {
+		return nil, fmt.Errorf("mvb: not a ZugChain bus trace")
+	}
+	var frames []Frame
+	for d.Remaining() > 0 {
+		f := Frame{Cycle: d.Uint64()}
+		n := d.Uvarint()
+		if n > 4096 {
+			return nil, fmt.Errorf("mvb: trace frame claims %d ports", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			f.Ports = append(f.Ports, PortData{
+				Port: d.Uint16(),
+				Data: d.BytesCopy(),
+			})
+		}
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("mvb: corrupt trace: %w", err)
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// RecordTrace attaches a recording reader to the bus and streams everything
+// it observes to w until the returned stop function is called.
+func RecordTrace(bus *Bus, w io.Writer) (stop func() error) {
+	reader := bus.NewReader(FaultConfig{}, 0)
+	writer := NewTraceWriter(w)
+	done := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		var firstErr error
+		record := func(f Frame) {
+			if err := writer.WriteFrame(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		for {
+			select {
+			case <-done:
+				// Drain frames already delivered before stopping.
+				for {
+					select {
+					case f := <-reader.C():
+						record(f)
+					default:
+						errCh <- firstErr
+						return
+					}
+				}
+			case f := <-reader.C():
+				record(f)
+			}
+		}
+	}()
+	return func() error {
+		close(done)
+		return <-errCh
+	}
+}
+
+// TraceDevice replays a recorded trace as a bus device: poll n returns the
+// n-th recorded frame's ports (the recorded cycle numbers are preserved in
+// the port payloads; the bus assigns fresh cycle numbers). After the trace
+// is exhausted the device goes silent, like a disconnected source.
+type TraceDevice struct {
+	frames []Frame
+}
+
+// NewTraceDevice wraps recorded frames as a device.
+func NewTraceDevice(frames []Frame) *TraceDevice {
+	return &TraceDevice{frames: frames}
+}
+
+// LoadTraceDevice reads a trace file into a replay device.
+func LoadTraceDevice(path string) (*TraceDevice, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mvb: open trace: %w", err)
+	}
+	defer f.Close()
+	frames, err := ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceDevice{frames: frames}, nil
+}
+
+// Len reports the number of recorded frames.
+func (t *TraceDevice) Len() int { return len(t.frames) }
+
+// Poll implements Device.
+func (t *TraceDevice) Poll(cycle uint64) []PortData {
+	if cycle >= uint64(len(t.frames)) {
+		return nil
+	}
+	return t.frames[cycle].Ports
+}

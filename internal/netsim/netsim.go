@@ -1,0 +1,170 @@
+// Package netsim shapes a Transport to the characteristics of the train's
+// uplink: the paper exports over LTE at roughly 8.5 Mbit/s (§V-B "Data
+// Center Export"). Shaping delays each message by propagation latency plus
+// serialization time (size / bandwidth) and serializes transmissions per
+// link direction, which reproduces the read-dominated export latencies of
+// Table II.
+package netsim
+
+import (
+	"sync"
+	"time"
+
+	"zugchain/internal/crypto"
+	"zugchain/internal/transport"
+)
+
+// LinkProfile describes the shaped link.
+type LinkProfile struct {
+	// BandwidthBps is the usable bandwidth in bits per second.
+	BandwidthBps float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+}
+
+// LTE is the paper's measured uplink: ~8.5 Mbit/s with cellular latency.
+var LTE = LinkProfile{BandwidthBps: 8.5e6, Latency: 40 * time.Millisecond}
+
+// transmitTime returns the serialization delay for n bytes.
+func (p LinkProfile) transmitTime(n int) time.Duration {
+	if p.BandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n*8) / p.BandwidthBps * float64(time.Second))
+}
+
+// Shaped wraps a Transport so every outbound AND inbound message pays the
+// link's serialization and propagation cost. The wrapped transport is
+// typically the data center's endpoint: both its requests and the replicas'
+// replies traverse the LTE link.
+type Shaped struct {
+	under   transport.Transport
+	profile LinkProfile
+
+	mu       sync.Mutex
+	sendFree time.Time // when the uplink is next idle
+	recvFree time.Time // when the downlink is next idle
+
+	handlerMu sync.Mutex
+	handler   transport.Handler
+
+	closeMu  sync.RWMutex
+	isClosed bool
+
+	wg     sync.WaitGroup
+	quit   chan struct{}
+	closed sync.Once
+}
+
+var _ transport.Transport = (*Shaped)(nil)
+
+// NewShaped wraps under with the given link profile.
+func NewShaped(under transport.Transport, profile LinkProfile) *Shaped {
+	s := &Shaped{
+		under:   under,
+		profile: profile,
+		quit:    make(chan struct{}),
+	}
+	under.SetHandler(s.onInbound)
+	return s
+}
+
+// LocalID implements transport.Transport.
+func (s *Shaped) LocalID() crypto.NodeID { return s.under.LocalID() }
+
+// SetHandler implements transport.Transport.
+func (s *Shaped) SetHandler(h transport.Handler) {
+	s.handlerMu.Lock()
+	s.handler = h
+	s.handlerMu.Unlock()
+}
+
+// Send implements transport.Transport, delaying by the uplink cost.
+func (s *Shaped) Send(to crypto.NodeID, data []byte) error {
+	delay := s.reserve(&s.sendFree, len(data))
+	if delay > 0 {
+		s.sleep(delay)
+	}
+	return s.under.Send(to, data)
+}
+
+// Broadcast implements transport.Transport. Each copy pays its own
+// serialization time, like distinct radio transmissions.
+func (s *Shaped) Broadcast(data []byte) error {
+	delay := s.reserve(&s.sendFree, len(data))
+	if delay > 0 {
+		s.sleep(delay)
+	}
+	return s.under.Broadcast(data)
+}
+
+// Close implements transport.Transport.
+func (s *Shaped) Close() error {
+	s.closed.Do(func() {
+		s.closeMu.Lock()
+		s.isClosed = true
+		s.closeMu.Unlock()
+		close(s.quit)
+	})
+	err := s.under.Close()
+	s.wg.Wait()
+	return err
+}
+
+// reserve books serialization time on a link direction and returns how long
+// the caller must wait before the message completes transmission.
+func (s *Shaped) reserve(free *time.Time, size int) time.Duration {
+	now := time.Now()
+	s.mu.Lock()
+	start := now
+	if free.After(now) {
+		start = *free
+	}
+	end := start.Add(s.profile.transmitTime(size))
+	*free = end
+	s.mu.Unlock()
+	return end.Add(s.profile.Latency).Sub(now)
+}
+
+func (s *Shaped) sleep(d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-s.quit:
+	}
+}
+
+// onInbound delays delivery by the downlink cost without blocking the
+// underlying dispatcher.
+func (s *Shaped) onInbound(from crypto.NodeID, data []byte) {
+	delay := s.reserve(&s.recvFree, len(data))
+	msg := make([]byte, len(data))
+	copy(msg, data)
+	// Guard the Add against a concurrent Close (Add after Wait races).
+	s.closeMu.RLock()
+	if s.isClosed {
+		s.closeMu.RUnlock()
+		return
+	}
+	s.wg.Add(1)
+	s.closeMu.RUnlock()
+	go func() {
+		defer s.wg.Done()
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-s.quit:
+				return
+			}
+		}
+		s.handlerMu.Lock()
+		h := s.handler
+		s.handlerMu.Unlock()
+		if h != nil {
+			h(from, msg)
+		}
+	}()
+}

@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"zugchain/internal/crypto"
+	"zugchain/internal/transport"
+)
+
+type sink struct {
+	mu  sync.Mutex
+	got [][]byte
+	ch  chan struct{}
+}
+
+func newSink() *sink { return &sink{ch: make(chan struct{}, 128)} }
+
+func (s *sink) handler(from crypto.NodeID, data []byte) {
+	s.mu.Lock()
+	s.got = append(s.got, data)
+	s.mu.Unlock()
+	s.ch <- struct{}{}
+}
+
+func (s *sink) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-s.ch:
+		case <-deadline:
+			t.Fatalf("timed out at message %d of %d", i+1, n)
+		}
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	p := LinkProfile{BandwidthBps: 8e6}
+	if got := p.transmitTime(1e6); got != time.Second {
+		t.Errorf("1 MB at 8 Mbit/s = %v, want 1s", got)
+	}
+	if got := (LinkProfile{}).transmitTime(1e6); got != 0 {
+		t.Errorf("unlimited bandwidth = %v", got)
+	}
+}
+
+func TestShapedSendPaysSerializationCost(t *testing.T) {
+	net := transport.NewNetwork()
+	defer net.Close()
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	sk := newSink()
+	b.SetHandler(sk.handler)
+
+	// 100 kB at 8 Mbit/s = 100 ms serialization + 10 ms latency.
+	shaped := NewShaped(a, LinkProfile{BandwidthBps: 8e6, Latency: 10 * time.Millisecond})
+	defer shaped.Close()
+
+	start := time.Now()
+	if err := shaped.Send(1, make([]byte, 100_000)); err != nil {
+		t.Fatal(err)
+	}
+	sk.wait(t, 1)
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~110ms", elapsed)
+	}
+}
+
+func TestShapedSerializesBackToBackSends(t *testing.T) {
+	net := transport.NewNetwork()
+	defer net.Close()
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	sk := newSink()
+	b.SetHandler(sk.handler)
+
+	shaped := NewShaped(a, LinkProfile{BandwidthBps: 8e6})
+	defer shaped.Close()
+
+	// 4 × 50 kB = 200 kB at 8 Mbit/s = 200 ms total, not 50 ms.
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := shaped.Send(1, make([]byte, 50_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sk.wait(t, 4)
+	if elapsed := time.Since(start); elapsed < 180*time.Millisecond {
+		t.Errorf("4 back-to-back sends in %v, want >= ~200ms", elapsed)
+	}
+}
+
+func TestShapedInboundAlsoShaped(t *testing.T) {
+	net := transport.NewNetwork()
+	defer net.Close()
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+
+	shaped := NewShaped(b, LinkProfile{BandwidthBps: 8e6, Latency: 5 * time.Millisecond})
+	defer shaped.Close()
+	sk := newSink()
+	shaped.SetHandler(sk.handler)
+
+	start := time.Now()
+	if err := a.Send(1, make([]byte, 100_000)); err != nil {
+		t.Fatal(err)
+	}
+	sk.wait(t, 1)
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("inbound delivered after %v, want >= ~105ms", elapsed)
+	}
+}
+
+func TestShapedZeroCostPassThrough(t *testing.T) {
+	net := transport.NewNetwork()
+	defer net.Close()
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	sk := newSink()
+	b.SetHandler(sk.handler)
+
+	shaped := NewShaped(a, LinkProfile{})
+	defer shaped.Close()
+	if shaped.LocalID() != 0 {
+		t.Errorf("LocalID = %v", shaped.LocalID())
+	}
+	if err := shaped.Broadcast([]byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	sk.wait(t, 1)
+}

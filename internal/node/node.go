@@ -1,0 +1,350 @@
+// Package node assembles a complete ZugChain replica: the MVB reader feeds
+// parsed, filtered signal records into the communication layer (Algorithm
+// 1), which orders them through PBFT; decided requests are bundled into the
+// blockchain, every block is checkpointed, and the export server serves
+// data centers and state transfers — the full pipeline of Fig 3.
+package node
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"zugchain/internal/blockchain"
+	"zugchain/internal/clock"
+	"zugchain/internal/core"
+	"zugchain/internal/crypto"
+	"zugchain/internal/export"
+	"zugchain/internal/mvb"
+	"zugchain/internal/pbft"
+	"zugchain/internal/signal"
+	"zugchain/internal/transport"
+)
+
+// Wire tag ranges carved out of the shared transport by the mux.
+const (
+	pbftTagLo, pbftTagHi     = 0x10, 0x2f
+	coreTagLo, coreTagHi     = 0x30, 0x3f
+	exportTagLo, exportTagHi = 0x40, 0x4f
+)
+
+// compactionPrefix marks the on-chain joint agreement to compact blocks to
+// headers (§III-D error (v)).
+const compactionPrefix = "zc-compact:"
+
+// Config parameterizes a ZugChain node.
+type Config struct {
+	// ID is this replica.
+	ID crypto.NodeID
+	// Replicas lists all replica IDs in ascending order.
+	Replicas []crypto.NodeID
+	// BlockSize is the number of ordered requests per block and
+	// checkpoint (the paper evaluates with 10).
+	BlockSize uint64
+	// DataDir, when set, persists the blockchain to disk.
+	DataDir string
+	// SoftTimeout/HardTimeout drive Algorithm 1 (250 ms each in §V).
+	SoftTimeout time.Duration
+	HardTimeout time.Duration
+	// ViewTimeout is the PBFT view-change progress timeout.
+	ViewTimeout time.Duration
+	// DeleteQuorum is the number of data centers whose signed deletes
+	// authorize pruning.
+	DeleteQuorum int
+	// DataCenters lists authorized data-center IDs.
+	DataCenters []crypto.NodeID
+	// WindowSeqs sizes the duplicate-filter window (see core.Config).
+	WindowSeqs uint64
+	// MaxOpenPerOrigin bounds open broadcast requests per node.
+	MaxOpenPerOrigin int
+}
+
+func (c *Config) applyDefaults() {
+	if c.BlockSize == 0 {
+		c.BlockSize = pbft.DefaultCheckpointInterval
+	}
+	if c.SoftTimeout <= 0 {
+		c.SoftTimeout = 250 * time.Millisecond
+	}
+	if c.HardTimeout <= 0 {
+		c.HardTimeout = 250 * time.Millisecond
+	}
+	if c.ViewTimeout <= 0 {
+		c.ViewTimeout = 500 * time.Millisecond
+	}
+	if c.DeleteQuorum <= 0 {
+		c.DeleteQuorum = 1
+	}
+}
+
+// Node is one ZugChain replica.
+type Node struct {
+	cfg Config
+	kp  *crypto.KeyPair
+	reg *crypto.Registry
+	clk clock.Clock
+
+	mux    *transport.Mux
+	runner *pbft.Runner
+	layer  *core.Layer
+	store  *blockchain.Store
+	srv    *export.Server
+
+	mu      sync.Mutex
+	filters map[int]*signal.Filter // per input source (§III-C)
+	builder *blockchain.Builder
+
+	busWG   sync.WaitGroup
+	stopped sync.Once
+}
+
+// New assembles a node on top of the given transport (the node muxes it into
+// protocol channels internally).
+func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Transport, clk clock.Clock) (*Node, error) {
+	cfg.applyDefaults()
+	store, err := blockchain.NewStore(cfg.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("node: open store: %w", err)
+	}
+
+	n := &Node{
+		cfg:     cfg,
+		kp:      kp,
+		reg:     reg,
+		clk:     clk,
+		store:   store,
+		filters: make(map[int]*signal.Filter),
+	}
+	n.builder = blockchain.NewBuilder(store.Head(), 1<<30 /* seal at checkpoints, not by count */)
+
+	n.mux = transport.NewMux(tr)
+	pbftChan := n.mux.Channel(pbftTagLo, pbftTagHi)
+	coreChan := n.mux.Channel(coreTagLo, coreTagHi)
+	exportChan := n.mux.Channel(exportTagLo, exportTagHi)
+
+	engine, err := pbft.NewEngine(pbft.Config{
+		ID:                 cfg.ID,
+		Replicas:           cfg.Replicas,
+		CheckpointInterval: cfg.BlockSize,
+	}, kp, reg)
+	if err != nil {
+		return nil, err
+	}
+	n.runner = pbft.NewRunner(engine, pbftChan, clk, (*pbftApp)(n), pbft.RunnerConfig{
+		BaseViewTimeout: cfg.ViewTimeout,
+	})
+
+	n.layer = core.New(core.Config{
+		ID:               cfg.ID,
+		SoftTimeout:      cfg.SoftTimeout,
+		HardTimeout:      cfg.HardTimeout,
+		MaxOpenPerOrigin: cfg.MaxOpenPerOrigin,
+		WindowSeqs:       cfg.WindowSeqs,
+	}, kp, reg, n.runner, coreChan, clk, (*chainRecorder)(n))
+
+	n.srv = export.NewServer(export.ServerConfig{
+		ID:                 cfg.ID,
+		CheckpointInterval: cfg.BlockSize,
+		DeleteQuorum:       cfg.DeleteQuorum,
+		DataCenters:        cfg.DataCenters,
+	}, kp, reg, store, exportChan)
+	n.srv.SetStateReplyHandler(n.onStateReply)
+
+	return n, nil
+}
+
+// Start launches the consensus runner.
+func (n *Node) Start() { n.runner.Start() }
+
+// Stop shuts down the node.
+func (n *Node) Stop() {
+	n.stopped.Do(func() {
+		n.layer.Close()
+		n.runner.Stop()
+		n.busWG.Wait()
+	})
+}
+
+// Store exposes the node's blockchain.
+func (n *Node) Store() *blockchain.Store { return n.store }
+
+// Layer exposes the communication layer (metrics, inspection).
+func (n *Node) Layer() *core.Layer { return n.layer }
+
+// Runner exposes the PBFT runner.
+func (n *Node) Runner() *pbft.Runner { return n.runner }
+
+// ExportServer exposes the export server.
+func (n *Node) ExportServer() *export.Server { return n.srv }
+
+// HandleFrame processes one bus frame through the verified parse/filter
+// pipeline and submits the surviving signals as one consolidated request.
+// Frames whose signals are all filtered produce no request, mirroring JRU
+// change-detection behaviour.
+func (n *Node) HandleFrame(frame mvb.Frame) {
+	n.HandleFrameSource(0, frame)
+}
+
+// HandleFrameSource is HandleFrame for a specific input source index. Nodes
+// connected to several (partially synchronous) buses keep one logical queue
+// per link (§III-C "Multiple Input Sources"); per-source change-detection
+// state keeps the filters independent.
+func (n *Node) HandleFrameSource(src int, frame mvb.Frame) {
+	rec, _ := mvb.ParseFrame(frame) // unparseable ports are skipped, rest logged
+	n.mu.Lock()
+	filter, ok := n.filters[src]
+	if !ok {
+		filter = signal.NewFilter(nil)
+		n.filters[src] = filter
+	}
+	filtered := filter.Apply(rec.Signals)
+	n.mu.Unlock()
+	if len(filtered) == 0 {
+		return
+	}
+	out := signal.Record{Cycle: rec.Cycle, Signals: filtered}
+	n.layer.OnBusRecord(src, out.Marshal())
+}
+
+// RunBus consumes frames from reader (input source 0) until ctx is
+// cancelled.
+func (n *Node) RunBus(ctx context.Context, reader *mvb.Reader) {
+	n.RunBusSource(ctx, 0, reader)
+}
+
+// RunBusSource consumes frames from one of several attached buses.
+func (n *Node) RunBusSource(ctx context.Context, src int, reader *mvb.Reader) {
+	n.busWG.Add(1)
+	go func() {
+		defer n.busWG.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case frame := <-reader.C():
+				n.HandleFrameSource(src, frame)
+			}
+		}
+	}()
+}
+
+// ProposeCompaction submits the on-chain joint agreement to compact blocks
+// up to `through` to headers (§III-D error (v)). Once ordered, every replica
+// executes the compaction deterministically when the marker is logged.
+func (n *Node) ProposeCompaction(through uint64) {
+	payload := fmt.Sprintf("%s%d", compactionPrefix, through)
+	n.layer.OnBusRecord(0, []byte(payload))
+}
+
+// chainRecorder adapts the node to core.Recorder: the LOG up-call of
+// Table I appends the decided request to the pending block.
+type chainRecorder Node
+
+// Log implements core.Recorder.
+func (r *chainRecorder) Log(seq uint64, origin crypto.NodeID, payload, sig []byte) {
+	n := (*Node)(r)
+	if through, ok := parseCompaction(payload); ok {
+		// Joint agreement: compact everything up to `through` (never the
+		// head) to headers. The marker itself is also logged below.
+		_ = n.store.CompactToHeaders(through)
+	}
+	n.mu.Lock()
+	n.builder.Add(blockchain.Entry{
+		Seq:     seq,
+		Origin:  origin,
+		Payload: payload,
+		Sig:     sig,
+	})
+	n.mu.Unlock()
+}
+
+func parseCompaction(payload []byte) (uint64, bool) {
+	s := string(payload)
+	if !strings.HasPrefix(s, compactionPrefix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, compactionPrefix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// pbftApp adapts the node to pbft.Application.
+type pbftApp Node
+
+// Deliver implements pbft.Application: hand the DECIDE to the layer, which
+// filters duplicates before logging.
+func (a *pbftApp) Deliver(seq uint64, req pbft.Request) {
+	(*Node)(a).layer.OnDecide(seq, req)
+}
+
+// CheckpointDigest implements pbft.Application: seal the block for this
+// checkpoint and persist it; its hash is the checkpoint state digest.
+func (a *pbftApp) CheckpointDigest(seq uint64) crypto.Digest {
+	n := (*Node)(a)
+	n.mu.Lock()
+	block := n.builder.SealCheckpoint(seq)
+	n.mu.Unlock()
+	if err := n.store.Append(block); err != nil {
+		// Appending a locally built block to the local head can only
+		// fail after state corruption; the checkpoint exchange will
+		// detect the divergence (StateTransferNeeded follows).
+		return crypto.Hash([]byte(fmt.Sprintf("corrupt-%d", seq)))
+	}
+	return block.Hash()
+}
+
+// OnPrePrepared implements pbft.PrePrepareObserver: relay the primary's
+// accepted proposal to the layer so it can downgrade the soft timeout.
+func (a *pbftApp) OnPrePrepared(seq uint64, payloadDigest crypto.Digest) {
+	(*Node)(a).layer.OnPrePrepared(payloadDigest)
+}
+
+// StableCheckpoint implements pbft.Application.
+func (a *pbftApp) StableCheckpoint(proof pbft.CheckpointProof) {
+	(*Node)(a).srv.OnStableCheckpoint(proof)
+}
+
+// NewPrimary implements pbft.Application.
+func (a *pbftApp) NewPrimary(view uint64, primary crypto.NodeID) {
+	(*Node)(a).layer.OnNewPrimary(view, primary)
+}
+
+// StateTransferNeeded implements pbft.Application: fetch the authoritative
+// blocks from peers (export error (ii)).
+func (a *pbftApp) StateTransferNeeded(seq uint64, digest crypto.Digest) {
+	n := (*Node)(a)
+	for _, peer := range n.cfg.Replicas {
+		if peer != n.cfg.ID {
+			n.srv.RequestStateTransfer(peer, n.store.HeadIndex()+1)
+		}
+	}
+	_ = digest // the installed blocks are verified by hash linkage
+}
+
+// onStateReply installs transferred blocks, verifying linkage.
+func (n *Node) onStateReply(reply *export.StateReply) {
+	blocks, err := export.DecodeStateBlocks(reply)
+	if err != nil {
+		return
+	}
+	installed := false
+	for _, b := range blocks {
+		if b.Index != n.store.HeadIndex()+1 {
+			continue
+		}
+		if err := n.store.Append(b); err != nil {
+			return
+		}
+		installed = true
+	}
+	if installed {
+		n.mu.Lock()
+		n.builder.ResetTo(n.store.Head())
+		n.mu.Unlock()
+	}
+}

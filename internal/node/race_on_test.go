@@ -1,0 +1,7 @@
+//go:build race
+
+package node
+
+// raceEnabled relaxes integration-test deadlines: the race detector slows
+// signing and message handling by roughly an order of magnitude.
+const raceEnabled = true

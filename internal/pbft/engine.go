@@ -1,0 +1,514 @@
+// Package pbft implements Practical Byzantine Fault Tolerance (Castro &
+// Liskov, OSDI'99) as the ordering core of ZugChain: the three-phase
+// preprepare/prepare/commit protocol, per-block checkpointing, and the view
+// change subprotocol. The engine exposes the interface of Table I of the
+// paper — PROPOSE and SUSPECT down-calls, DECIDE (DeliverAction) and
+// NEWPRIMARY (NewPrimaryAction) up-calls — so the ZugChain communication
+// layer can implement primary-aware filtering and censorship detection on
+// top of it.
+//
+// The engine is a pure, single-threaded state machine: all inputs are method
+// calls, all outputs are Actions. The Runner (runner.go) pumps it against a
+// transport and a clock.
+package pbft
+
+import (
+	"fmt"
+
+	"zugchain/internal/crypto"
+	"zugchain/internal/wire"
+)
+
+// DefaultCheckpointInterval matches the paper's evaluation setup: a block —
+// and therefore a checkpoint — every 10 requests.
+const DefaultCheckpointInterval = 10
+
+// Config parameterizes an Engine.
+type Config struct {
+	// ID is this replica.
+	ID crypto.NodeID
+	// Replicas lists all replica IDs in ascending order; the primary of
+	// view v is Replicas[v mod n].
+	Replicas []crypto.NodeID
+	// CheckpointInterval is the number of delivered requests per
+	// checkpoint; ZugChain creates one block per checkpoint (§III-C).
+	CheckpointInterval uint64
+	// WatermarkWindow bounds how far ordering may run ahead of the last
+	// stable checkpoint. Defaults to two checkpoint intervals.
+	WatermarkWindow uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if c.WatermarkWindow == 0 {
+		c.WatermarkWindow = 2 * c.CheckpointInterval
+	}
+}
+
+// F returns the number of tolerated Byzantine replicas for n = len(Replicas).
+func (c *Config) F() int { return (len(c.Replicas) - 1) / 3 }
+
+// Quorum returns the 2f+1 quorum size.
+func (c *Config) Quorum() int { return 2*c.F() + 1 }
+
+// instance tracks one sequence number's progress through the three phases.
+type instance struct {
+	view       uint64
+	seq        uint64
+	digest     crypto.Digest
+	preprepare *PrePrepare
+	prepares   map[crypto.NodeID]*Prepare
+	commits    map[crypto.NodeID]*Commit
+	prepared   bool
+	committed  bool
+	sentCommit bool
+}
+
+// Engine is the PBFT state machine for one replica.
+type Engine struct {
+	cfg Config
+	kp  *crypto.KeyPair
+	reg *crypto.Registry
+
+	view     uint64
+	nextSeq  uint64 // next sequence number this primary assigns
+	lowWater uint64 // last stable checkpoint sequence number
+	executed uint64 // last delivered sequence number
+
+	log         map[uint64]*instance
+	checkpoints map[uint64]map[crypto.NodeID]*Checkpoint
+	myDigests   map[uint64]crypto.Digest // state digests this replica computed
+	stable      CheckpointProof
+
+	pendingProposals []Request // proposals waiting for watermark space
+
+	inViewChange bool
+	vcs          map[uint64]map[crypto.NodeID]*ViewChange
+	sentVCFor    uint64 // highest view this replica sent a ViewChange for
+	vcAttempts   int
+}
+
+// NewEngine creates a PBFT engine. kp must belong to cfg.ID and reg must
+// know every replica's public key.
+func NewEngine(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry) (*Engine, error) {
+	cfg.applyDefaults()
+	if len(cfg.Replicas) < 4 {
+		return nil, fmt.Errorf("pbft: need at least 4 replicas for f>=1, got %d", len(cfg.Replicas))
+	}
+	found := false
+	for _, id := range cfg.Replicas {
+		if id == cfg.ID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("pbft: local id %v not in replica set", cfg.ID)
+	}
+	if kp.ID != cfg.ID {
+		return nil, fmt.Errorf("pbft: key pair belongs to %v, not %v", kp.ID, cfg.ID)
+	}
+	return &Engine{
+		cfg:         cfg,
+		kp:          kp,
+		reg:         reg,
+		nextSeq:     1,
+		log:         make(map[uint64]*instance),
+		checkpoints: make(map[uint64]map[crypto.NodeID]*Checkpoint),
+		myDigests:   make(map[uint64]crypto.Digest),
+		vcs:         make(map[uint64]map[crypto.NodeID]*ViewChange),
+	}, nil
+}
+
+// View returns the current view number.
+func (e *Engine) View() uint64 { return e.view }
+
+// Primary returns the primary of the current view.
+func (e *Engine) Primary() crypto.NodeID { return e.primaryOf(e.view) }
+
+// IsPrimary reports whether this replica is the current primary.
+func (e *Engine) IsPrimary() bool { return e.Primary() == e.cfg.ID }
+
+// InViewChange reports whether a view change is in progress.
+func (e *Engine) InViewChange() bool { return e.inViewChange }
+
+// Executed returns the last delivered sequence number.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// StableCheckpoint returns the latest stable checkpoint proof; the zero
+// proof (Seq 0) represents genesis.
+func (e *Engine) StableCheckpoint() CheckpointProof { return e.stable }
+
+func (e *Engine) primaryOf(view uint64) crypto.NodeID {
+	return e.cfg.Replicas[view%uint64(len(e.cfg.Replicas))]
+}
+
+// Start activates the engine, announcing the initial primary.
+func (e *Engine) Start() []Action {
+	return []Action{NewPrimaryAction{View: e.view, Primary: e.Primary()}}
+}
+
+// Propose is the PROPOSE down-call of Table I: the primary-co-located
+// ZugChain layer submits a request for total ordering. On a backup or
+// during a view change the call is a no-op; the communication layer's
+// timeout machinery covers such requests.
+func (e *Engine) Propose(req Request) []Action {
+	if !e.IsPrimary() || e.inViewChange {
+		return nil
+	}
+	if e.nextSeq > e.lowWater+e.cfg.WatermarkWindow {
+		// Out of watermark space until the next stable checkpoint.
+		e.pendingProposals = append(e.pendingProposals, req)
+		return nil
+	}
+	return e.proposeNow(req)
+}
+
+func (e *Engine) proposeNow(req Request) []Action {
+	seq := e.nextSeq
+	e.nextSeq++
+	pp := &PrePrepare{
+		View:    e.view,
+		Seq:     seq,
+		Req:     req,
+		Replica: e.cfg.ID,
+	}
+	sign(pp, e.kp)
+	actions := []Action{BroadcastAction{Msg: pp}}
+	actions = append(actions, e.acceptPrePrepare(pp)...)
+	return actions
+}
+
+// drainProposals proposes queued requests while watermark space is
+// available. Only meaningful on the primary.
+func (e *Engine) drainProposals() []Action {
+	var actions []Action
+	for len(e.pendingProposals) > 0 &&
+		e.IsPrimary() && !e.inViewChange &&
+		e.nextSeq <= e.lowWater+e.cfg.WatermarkWindow {
+		req := e.pendingProposals[0]
+		e.pendingProposals = e.pendingProposals[1:]
+		actions = append(actions, e.proposeNow(req)...)
+	}
+	return actions
+}
+
+// Suspect is the SUSPECT down-call of Table I: the layer above has evidence
+// that the given node — effective only for the current primary — is faulty
+// (hard timeout expiry or a duplicate proposal). It triggers a view change.
+func (e *Engine) Suspect(id crypto.NodeID) []Action {
+	if id != e.Primary() {
+		// Only the primary can be voted out; other nodes' faults are
+		// masked by the quorum.
+		return nil
+	}
+	if e.sentVCFor > e.view {
+		return nil // already changing away from this primary
+	}
+	return e.startViewChange(e.view+1, false)
+}
+
+// Receive processes one signed protocol message from the transport.
+// Malformed or unverifiable messages are dropped (Byzantine senders gain
+// nothing by sending garbage).
+func (e *Engine) Receive(from crypto.NodeID, msg wire.Message) []Action {
+	s, ok := msg.(signable)
+	if !ok {
+		return nil
+	}
+	// The transport-level sender must match the claimed signer; otherwise
+	// a faulty node could replay others' messages as its own channel.
+	if s.signer() != from {
+		return nil
+	}
+	if err := verify(s, e.reg); err != nil {
+		return nil
+	}
+	switch m := msg.(type) {
+	case *PrePrepare:
+		return e.onPrePrepare(m)
+	case *Prepare:
+		return e.onPrepare(m)
+	case *Commit:
+		return e.onCommit(m)
+	case *Checkpoint:
+		return e.onCheckpoint(m)
+	case *ViewChange:
+		return e.onViewChange(m)
+	case *NewView:
+		return e.onNewView(m)
+	default:
+		return nil
+	}
+}
+
+// inWatermarks checks the sequence number bound (lowWater, lowWater+window].
+func (e *Engine) inWatermarks(seq uint64) bool {
+	return seq > e.lowWater && seq <= e.lowWater+e.cfg.WatermarkWindow
+}
+
+func (e *Engine) getInstance(seq uint64) *instance {
+	inst, ok := e.log[seq]
+	if !ok {
+		inst = &instance{
+			seq:      seq,
+			prepares: make(map[crypto.NodeID]*Prepare),
+			commits:  make(map[crypto.NodeID]*Commit),
+		}
+		e.log[seq] = inst
+	}
+	return inst
+}
+
+func (e *Engine) onPrePrepare(pp *PrePrepare) []Action {
+	if e.inViewChange || pp.View != e.view || pp.Replica != e.primaryOf(pp.View) {
+		return nil
+	}
+	if !e.inWatermarks(pp.Seq) {
+		return nil
+	}
+	if err := VerifyRequest(&pp.Req, e.reg); err != nil {
+		return nil
+	}
+	return e.acceptPrePrepare(pp)
+}
+
+// acceptPrePrepare records the proposal and, on backups, answers with a
+// Prepare. Shared by the normal path and new-view installation.
+func (e *Engine) acceptPrePrepare(pp *PrePrepare) []Action {
+	inst := e.getInstance(pp.Seq)
+	digest := pp.Req.Digest()
+	if inst.preprepare != nil {
+		// A second proposal for an occupied slot: equivocation or a
+		// retransmit. Either way the first accepted proposal stands.
+		return nil
+	}
+	inst.view = pp.View
+	inst.preprepare = pp
+	inst.digest = digest
+
+	var actions []Action
+	if pp.Replica != e.cfg.ID {
+		if !pp.Req.IsNull() {
+			actions = append(actions, PrePreparedAction{
+				Seq:           pp.Seq,
+				PayloadDigest: pp.Req.PayloadDigest(),
+			})
+		}
+		p := &Prepare{
+			View:    pp.View,
+			Seq:     pp.Seq,
+			Digest:  digest,
+			Replica: e.cfg.ID,
+		}
+		sign(p, e.kp)
+		inst.prepares[e.cfg.ID] = p
+		actions = append(actions, BroadcastAction{Msg: p})
+	}
+	actions = append(actions, e.checkProgress(inst)...)
+	return actions
+}
+
+func (e *Engine) onPrepare(p *Prepare) []Action {
+	if e.inViewChange || p.View != e.view || !e.inWatermarks(p.Seq) {
+		return nil
+	}
+	if p.Replica == e.primaryOf(p.View) {
+		return nil // the primary's preprepare is its prepare
+	}
+	inst := e.getInstance(p.Seq)
+	if _, dup := inst.prepares[p.Replica]; dup {
+		return nil
+	}
+	inst.prepares[p.Replica] = p
+	return e.checkProgress(inst)
+}
+
+func (e *Engine) onCommit(c *Commit) []Action {
+	if e.inViewChange || c.View != e.view || !e.inWatermarks(c.Seq) {
+		return nil
+	}
+	inst := e.getInstance(c.Seq)
+	if _, dup := inst.commits[c.Replica]; dup {
+		return nil
+	}
+	inst.commits[c.Replica] = c
+	return e.checkProgress(inst)
+}
+
+// checkProgress advances an instance through prepared and committed states
+// and executes whatever became executable.
+func (e *Engine) checkProgress(inst *instance) []Action {
+	var actions []Action
+
+	if !inst.prepared && inst.preprepare != nil {
+		// prepared: the preprepare plus 2f matching prepares from
+		// distinct backups (a backup's own prepare counts).
+		matching := 0
+		for _, p := range inst.prepares {
+			if p.Digest == inst.digest && p.View == inst.view {
+				matching++
+			}
+		}
+		if matching >= 2*e.cfg.F() {
+			inst.prepared = true
+		}
+	}
+
+	if inst.prepared && !inst.sentCommit {
+		inst.sentCommit = true
+		c := &Commit{
+			View:    inst.view,
+			Seq:     inst.seq,
+			Digest:  inst.digest,
+			Replica: e.cfg.ID,
+		}
+		sign(c, e.kp)
+		inst.commits[e.cfg.ID] = c
+		actions = append(actions, BroadcastAction{Msg: c})
+	}
+
+	if inst.prepared && !inst.committed {
+		matching := 0
+		for _, c := range inst.commits {
+			if c.Digest == inst.digest && c.View == inst.view {
+				matching++
+			}
+		}
+		if matching >= e.cfg.Quorum() {
+			inst.committed = true
+		}
+	}
+
+	actions = append(actions, e.tryExecute()...)
+	return actions
+}
+
+// tryExecute delivers committed requests in sequence order. Checkpoint
+// boundaries emit a CheckpointNeededAction so the application can report the
+// block digest.
+func (e *Engine) tryExecute() []Action {
+	var actions []Action
+	for {
+		inst, ok := e.log[e.executed+1]
+		if !ok || !inst.committed {
+			break
+		}
+		e.executed++
+		if !inst.preprepare.Req.IsNull() {
+			actions = append(actions, DeliverAction{Seq: e.executed, Req: inst.preprepare.Req})
+		}
+		if e.executed%e.cfg.CheckpointInterval == 0 {
+			actions = append(actions, CheckpointNeededAction{Seq: e.executed})
+		}
+	}
+	return actions
+}
+
+// Checkpoint is the application's answer to CheckpointNeededAction: the
+// state digest (block hash) after executing seq. The engine broadcasts the
+// signed checkpoint message and counts it toward stability.
+func (e *Engine) Checkpoint(seq uint64, digest crypto.Digest) []Action {
+	if seq <= e.lowWater {
+		return nil
+	}
+	e.myDigests[seq] = digest
+	c := &Checkpoint{
+		Seq:         seq,
+		StateDigest: digest,
+		Replica:     e.cfg.ID,
+	}
+	sign(c, e.kp)
+	actions := []Action{BroadcastAction{Msg: c}}
+	actions = append(actions, e.addCheckpoint(c)...)
+	return actions
+}
+
+func (e *Engine) onCheckpoint(c *Checkpoint) []Action {
+	if c.Seq <= e.lowWater {
+		return nil
+	}
+	return e.addCheckpoint(c)
+}
+
+func (e *Engine) addCheckpoint(c *Checkpoint) []Action {
+	byReplica, ok := e.checkpoints[c.Seq]
+	if !ok {
+		byReplica = make(map[crypto.NodeID]*Checkpoint)
+		e.checkpoints[c.Seq] = byReplica
+	}
+	if _, dup := byReplica[c.Replica]; dup {
+		return nil
+	}
+	byReplica[c.Replica] = c
+
+	// Stability: 2f+1 matching (seq, digest) checkpoint messages.
+	count := 0
+	for _, other := range byReplica {
+		if other.StateDigest == c.StateDigest {
+			count++
+		}
+	}
+	if count < e.cfg.Quorum() {
+		return nil
+	}
+	proof := CheckpointProof{Seq: c.Seq, StateDigest: c.StateDigest}
+	for _, other := range byReplica {
+		if other.StateDigest == c.StateDigest {
+			proof.Checkpoints = append(proof.Checkpoints, *other)
+		}
+	}
+	return e.installStable(proof)
+}
+
+// installStable advances the low watermark to a newly stable checkpoint,
+// garbage-collects the message log, and reports divergence or lag.
+func (e *Engine) installStable(proof CheckpointProof) []Action {
+	if proof.Seq <= e.lowWater {
+		return nil
+	}
+	var actions []Action
+	e.stable = proof
+	e.lowWater = proof.Seq
+
+	if mine, ok := e.myDigests[proof.Seq]; ok && mine != proof.StateDigest {
+		// The quorum agreed on a different state: this replica's log is
+		// corrupt — exactly the arbitrary-fault case ZugChain plans for.
+		// Recover the authoritative blocks out of band.
+		actions = append(actions, StateTransferNeededAction{
+			TargetSeq: proof.Seq, Digest: proof.StateDigest,
+		})
+		e.executed = proof.Seq
+	} else if e.executed < proof.Seq {
+		// This replica lagged past a GC boundary; catch up out of band.
+		actions = append(actions, StateTransferNeededAction{
+			TargetSeq: proof.Seq, Digest: proof.StateDigest,
+		})
+		e.executed = proof.Seq
+	}
+	if e.nextSeq <= e.executed {
+		e.nextSeq = e.executed + 1
+	}
+
+	for seq := range e.log {
+		if seq <= proof.Seq {
+			delete(e.log, seq)
+		}
+	}
+	for seq := range e.checkpoints {
+		if seq < proof.Seq {
+			delete(e.checkpoints, seq)
+		}
+	}
+	for seq := range e.myDigests {
+		if seq < proof.Seq {
+			delete(e.myDigests, seq)
+		}
+	}
+
+	actions = append(actions, StableCheckpointAction{Proof: proof})
+	actions = append(actions, e.drainProposals()...)
+	return actions
+}

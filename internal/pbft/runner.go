@@ -1,0 +1,239 @@
+package pbft
+
+import (
+	"sync"
+	"time"
+
+	"zugchain/internal/clock"
+	"zugchain/internal/crypto"
+	"zugchain/internal/transport"
+	"zugchain/internal/wire"
+)
+
+// Application receives the engine's up-calls. All methods are invoked from
+// the runner's event loop; implementations may call back into the Runner
+// (Propose, Suspect, ...) freely — those calls enqueue and never block.
+type Application interface {
+	// Deliver is the DECIDE up-call: req was totally ordered at seq.
+	Deliver(seq uint64, req Request)
+	// CheckpointDigest must return the application state digest after
+	// executing seq — in ZugChain, the hash of the block ending at seq.
+	CheckpointDigest(seq uint64) crypto.Digest
+	// StableCheckpoint reports a checkpoint that gathered 2f+1 signatures.
+	StableCheckpoint(proof CheckpointProof)
+	// NewPrimary is the NEWPRIMARY up-call after a view becomes active.
+	NewPrimary(view uint64, primary crypto.NodeID)
+	// StateTransferNeeded reports that this replica must fetch blocks up
+	// to seq out of band.
+	StateTransferNeeded(seq uint64, digest crypto.Digest)
+}
+
+// PrePrepareObserver is an optional extension of Application: when the
+// application implements it, the runner reports accepted preprepares so the
+// communication layer can downgrade soft timeouts (§III-C optimization).
+type PrePrepareObserver interface {
+	OnPrePrepared(seq uint64, payloadDigest crypto.Digest)
+}
+
+// RunnerConfig parameterizes a Runner.
+type RunnerConfig struct {
+	// BaseViewTimeout is the view-change progress timeout; it doubles per
+	// escalation attempt (capped at 10 doublings).
+	BaseViewTimeout time.Duration
+}
+
+// Runner owns an Engine and pumps it: inbound transport messages, local
+// commands, and timer events are serialized into engine calls, and the
+// resulting actions are executed. It is the only goroutine touching the
+// engine, preserving the engine's single-threaded contract.
+type Runner struct {
+	engine *Engine
+	tr     transport.Transport
+	clk    clock.Clock
+	app    Application
+	cfg    RunnerConfig
+
+	mu     sync.Mutex
+	queue  []func() []Action
+	wake   chan struct{}
+	closed bool
+
+	stop sync.Once
+	quit chan struct{}
+	done chan struct{}
+
+	viewTimer     clock.Timer
+	viewTimerView uint64
+}
+
+// NewRunner wires an engine to a transport, clock, and application.
+func NewRunner(engine *Engine, tr transport.Transport, clk clock.Clock, app Application, cfg RunnerConfig) *Runner {
+	if cfg.BaseViewTimeout <= 0 {
+		cfg.BaseViewTimeout = 500 * time.Millisecond
+	}
+	r := &Runner{
+		engine: engine,
+		tr:     tr,
+		clk:    clk,
+		app:    app,
+		cfg:    cfg,
+		wake:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	tr.SetHandler(r.onMessage)
+	return r
+}
+
+// Start launches the event loop and announces the initial primary.
+func (r *Runner) Start() {
+	r.enqueue(func() []Action { return r.engine.Start() })
+	go r.loop()
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (r *Runner) Stop() {
+	r.stop.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		close(r.quit)
+	})
+	<-r.done
+}
+
+// Propose submits a request for ordering (PROPOSE down-call). Never blocks.
+func (r *Runner) Propose(req Request) {
+	r.enqueue(func() []Action { return r.engine.Propose(req) })
+}
+
+// Suspect reports the given node as faulty (SUSPECT down-call). Never blocks.
+func (r *Runner) Suspect(id crypto.NodeID) {
+	r.enqueue(func() []Action { return r.engine.Suspect(id) })
+}
+
+// Engine returns the underlying engine. Callers must only use it from
+// Application callbacks (which run on the event loop) or via Inspect.
+func (r *Runner) Engine() *Engine { return r.engine }
+
+// Inspect runs f on the event loop with exclusive engine access and waits
+// for it to complete — the safe way for tests and status endpoints to read
+// engine state.
+func (r *Runner) Inspect(f func(e *Engine)) {
+	doneCh := make(chan struct{})
+	r.enqueue(func() []Action {
+		f(r.engine)
+		close(doneCh)
+		return nil
+	})
+	select {
+	case <-doneCh:
+	case <-r.done:
+	}
+}
+
+// onMessage is the transport handler: decode and enqueue.
+func (r *Runner) onMessage(from crypto.NodeID, data []byte) {
+	msg, err := wire.Unmarshal(data)
+	if err != nil {
+		return // garbage from a Byzantine or broken peer
+	}
+	r.enqueue(func() []Action { return r.engine.Receive(from, msg) })
+}
+
+// enqueue appends work to the unbounded mailbox. Unbounded is deliberate:
+// application callbacks run on the loop and may enqueue (Propose after
+// NewPrimary, Suspect after a duplicate Decide); a bounded channel could
+// deadlock the loop against itself. Inbound flooding is bounded above this
+// layer by the communication layer's per-node open-request limit.
+func (r *Runner) enqueue(f func() []Action) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.queue = append(r.queue, f)
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	for {
+		var timerC <-chan time.Time
+		if r.viewTimer != nil {
+			timerC = r.viewTimer.C()
+		}
+		select {
+		case <-r.quit:
+			if r.viewTimer != nil {
+				r.viewTimer.Stop()
+			}
+			return
+		case <-r.wake:
+			for {
+				r.mu.Lock()
+				if len(r.queue) == 0 {
+					r.mu.Unlock()
+					break
+				}
+				batch := r.queue
+				r.queue = nil
+				r.mu.Unlock()
+				for _, f := range batch {
+					r.execute(f())
+				}
+			}
+		case <-timerC:
+			view := r.viewTimerView
+			r.viewTimer = nil
+			r.execute(r.engine.OnViewTimer(view))
+		}
+	}
+}
+
+// execute performs the engine's actions, feeding results of application
+// callbacks straight back into the engine.
+func (r *Runner) execute(actions []Action) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case SendAction:
+			_ = r.tr.Send(act.To, wire.Marshal(act.Msg))
+		case BroadcastAction:
+			_ = r.tr.Broadcast(wire.Marshal(act.Msg))
+		case DeliverAction:
+			r.app.Deliver(act.Seq, act.Req)
+		case CheckpointNeededAction:
+			digest := r.app.CheckpointDigest(act.Seq)
+			r.execute(r.engine.Checkpoint(act.Seq, digest))
+		case StableCheckpointAction:
+			r.app.StableCheckpoint(act.Proof)
+		case NewPrimaryAction:
+			r.app.NewPrimary(act.View, act.Primary)
+		case StartViewTimerAction:
+			if r.viewTimer != nil {
+				r.viewTimer.Stop()
+			}
+			shift := act.Attempt
+			if shift > 10 {
+				shift = 10
+			}
+			r.viewTimerView = act.View
+			r.viewTimer = r.clk.NewTimer(r.cfg.BaseViewTimeout << shift)
+		case StopViewTimerAction:
+			if r.viewTimer != nil {
+				r.viewTimer.Stop()
+				r.viewTimer = nil
+			}
+		case PrePreparedAction:
+			if obs, ok := r.app.(PrePrepareObserver); ok {
+				obs.OnPrePrepared(act.Seq, act.PayloadDigest)
+			}
+		case StateTransferNeededAction:
+			r.app.StateTransferNeeded(act.TargetSeq, act.Digest)
+		}
+	}
+}

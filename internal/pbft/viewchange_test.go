@@ -1,0 +1,254 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+
+	"zugchain/internal/crypto"
+)
+
+// TestNewViewFillsGapsWithNullRequests: requests at seqs 1 and 3 reach
+// prepared, seq 2 does not (its preprepare is censored towards everyone but
+// one replica never prepares it fully). After the view change, seq 3's
+// request must survive and seq 2 is filled with a null request that is
+// never delivered.
+func TestNewViewFillsGapsWithNullRequests(t *testing.T) {
+	c := newCluster(t, 4, nil)
+
+	// Block commits entirely so nothing executes, and drop the preprepare
+	// and prepares for seq 2 so only seqs 1 and 3 reach prepared.
+	c.filter = func(p packet) bool {
+		msg, err := unmarshalPacket(p)
+		if err != nil {
+			return true
+		}
+		switch m := msg.(type) {
+		case *Commit:
+			return false
+		case *PrePrepare:
+			return m.Seq != 2
+		case *Prepare:
+			return m.Seq != 2
+		}
+		return true
+	}
+	c.propose(0, "one")
+	c.propose(0, "two") // never prepared anywhere
+	c.propose(0, "three")
+	c.run()
+	for _, id := range c.ids {
+		if len(c.delivered[id]) != 0 {
+			t.Fatalf("replica %v delivered before view change", id)
+		}
+	}
+
+	c.filter = nil
+	c.suspect(1, 2, 3)
+	c.run()
+
+	c.assertAgreement()
+	for _, id := range c.ids {
+		got := c.delivered[id]
+		if len(got) != 2 {
+			t.Fatalf("replica %v delivered %d requests, want 2 (null at seq 2 skipped)", id, len(got))
+		}
+		if string(got[0].Req.Payload) != "one" || got[0].Seq != 1 {
+			t.Errorf("replica %v first = %q@%d", id, got[0].Req.Payload, got[0].Seq)
+		}
+		if string(got[1].Req.Payload) != "three" || got[1].Seq != 3 {
+			t.Errorf("replica %v second = %q@%d", id, got[1].Req.Payload, got[1].Seq)
+		}
+	}
+}
+
+// TestViewChangeAdoptsNewerStableCheckpoint: a replica that missed a whole
+// checkpoint learns it from the view-change quorum and state-transfers.
+func TestViewChangeAdoptsNewerStableCheckpoint(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	// r3 misses everything while 10 requests are ordered and checkpointed
+	// by the other three.
+	c.filter = func(p packet) bool { return p.to != 3 }
+	for i := 0; i < 10; i++ {
+		c.propose(0, fmt.Sprintf("r%d", i))
+	}
+	c.run()
+	if c.engines[3].lowWater != 0 {
+		t.Fatalf("r3 low water = %d before view change", c.engines[3].lowWater)
+	}
+
+	// Heal and change the view: the quorum's view changes carry the
+	// stable checkpoint at seq 10, which r3 must adopt.
+	c.filter = nil
+	c.suspect(1, 2, 3)
+	c.run()
+
+	e3 := c.engines[3]
+	if e3.View() != 1 {
+		t.Fatalf("r3 view = %d", e3.View())
+	}
+	if e3.lowWater != 10 {
+		t.Errorf("r3 low water = %d, want 10 (adopted from view change)", e3.lowWater)
+	}
+	if len(c.transfers[3]) == 0 {
+		t.Error("r3 did not request a state transfer for the missed blocks")
+	}
+	// Ordering continues for everyone in the new view.
+	c.propose(1, "fresh")
+	c.run()
+	last := c.delivered[3][len(c.delivered[3])-1]
+	if string(last.Req.Payload) != "fresh" {
+		t.Errorf("r3 last delivery = %q", last.Req.Payload)
+	}
+	c.assertAgreement()
+}
+
+// TestViewChangeChainsAcrossMultipleViews: two consecutive primary failures.
+func TestViewChangeChainsAcrossMultipleViews(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	c.propose(0, "v0")
+	c.run()
+
+	c.suspect(1, 2, 3) // view 1, primary r1
+	c.run()
+	c.propose(1, "v1")
+	c.run()
+
+	c.suspect(0, 2, 3) // view 2, primary r2
+	c.run()
+	c.propose(2, "v2")
+	c.run()
+
+	c.assertAllDelivered("v0", "v1", "v2")
+	c.assertAgreement()
+	for _, id := range c.ids {
+		if got := c.engines[id].View(); got != 2 {
+			t.Errorf("replica %v view = %d", id, got)
+		}
+	}
+}
+
+// TestStaleViewChangeIgnored: a view change for an already-installed view
+// must not disturb the engine.
+func TestStaleViewChangeIgnored(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	c.suspect(1, 2, 3)
+	c.run()
+	if c.engines[0].View() != 1 {
+		t.Fatal("setup: view change did not complete")
+	}
+
+	vc := &ViewChange{NewView: 1, Replica: 3}
+	sign(vc, c.kps[3])
+	c.handle(0, c.engines[0].Receive(3, vc))
+	c.run()
+	if got := c.engines[0].View(); got != 1 {
+		t.Errorf("view = %d after stale view change", got)
+	}
+}
+
+// TestForgedNewViewRejected: a non-primary cannot install a view, and a
+// primary cannot smuggle an unprepared request into the new view.
+func TestForgedNewViewRejected(t *testing.T) {
+	c := newCluster(t, 4, nil)
+
+	t.Run("wrong sender", func(t *testing.T) {
+		nv := &NewView{View: 1, Replica: 2} // primary of view 1 is r1
+		sign(nv, c.kps[2])
+		c.handle(0, c.engines[0].Receive(2, nv))
+		c.run()
+		if c.engines[0].View() != 0 {
+			t.Error("non-primary installed a view")
+		}
+	})
+
+	t.Run("insufficient quorum", func(t *testing.T) {
+		vc := &ViewChange{NewView: 1, Replica: 1}
+		sign(vc, c.kps[1])
+		nv := &NewView{View: 1, ViewChanges: []ViewChange{*vc}, Replica: 1}
+		sign(nv, c.kps[1])
+		c.handle(0, c.engines[0].Receive(1, nv))
+		c.run()
+		if c.engines[0].View() != 0 {
+			t.Error("new view with 1 view change accepted")
+		}
+	})
+
+	t.Run("invented request", func(t *testing.T) {
+		// Three legitimate view changes with empty P sets...
+		var vcs []ViewChange
+		for _, id := range []crypto.NodeID{1, 2, 3} {
+			vc := ViewChange{NewView: 1, Replica: id}
+			sign(&vc, c.kps[id])
+			vcs = append(vcs, vc)
+		}
+		// ... but the new primary invents a preprepare for seq 1.
+		forged := Request{Payload: []byte("invented")}
+		SignRequest(&forged, c.kps[1])
+		pp := PrePrepare{View: 1, Seq: 1, Req: forged, Replica: 1}
+		sign(&pp, c.kps[1])
+		nv := &NewView{View: 1, ViewChanges: vcs, PrePrepares: []PrePrepare{pp}, Replica: 1}
+		sign(nv, c.kps[1])
+		c.handle(0, c.engines[0].Receive(1, nv))
+		c.run()
+		if c.engines[0].View() != 0 {
+			t.Error("new view with invented request accepted")
+		}
+	})
+}
+
+// TestDuplicateSuspectIsIdempotent: calling Suspect repeatedly while a view
+// change is already underway must not escalate views.
+func TestDuplicateSuspectIsIdempotent(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	c.filter = func(p packet) bool { return false } // isolate everyone
+	for i := 0; i < 5; i++ {
+		c.handle(1, c.engines[1].Suspect(0))
+	}
+	c.run()
+	if got := c.engines[1].sentVCFor; got != 1 {
+		t.Errorf("sentVCFor = %d after repeated suspects, want 1", got)
+	}
+}
+
+// TestPreparedProofValidation exercises validatePreparedProof's rejections.
+func TestPreparedProofValidation(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	e := c.engines[0]
+
+	req := Request{Payload: []byte("p")}
+	SignRequest(&req, c.kps[0])
+	pp := PrePrepare{View: 0, Seq: 1, Req: req, Replica: 0}
+	sign(&pp, c.kps[0])
+	mkPrepare := func(id crypto.NodeID, digest crypto.Digest) Prepare {
+		p := Prepare{View: 0, Seq: 1, Digest: digest, Replica: id}
+		sign(&p, c.kps[id])
+		return p
+	}
+
+	valid := PreparedProof{PrePrepare: pp,
+		Prepares: []Prepare{mkPrepare(1, req.Digest()), mkPrepare(2, req.Digest())}}
+	if err := e.validatePreparedProof(&valid, 1); err != nil {
+		t.Errorf("valid proof rejected: %v", err)
+	}
+
+	tests := []struct {
+		name  string
+		proof PreparedProof
+		view  uint64
+	}{
+		{"view not before new view", valid, 0},
+		{"too few prepares", PreparedProof{PrePrepare: pp,
+			Prepares: []Prepare{mkPrepare(1, req.Digest())}}, 1},
+		{"mismatched digest", PreparedProof{PrePrepare: pp,
+			Prepares: []Prepare{mkPrepare(1, crypto.Hash([]byte("x"))), mkPrepare(2, req.Digest())}}, 1},
+		{"duplicate prepare signer", PreparedProof{PrePrepare: pp,
+			Prepares: []Prepare{mkPrepare(1, req.Digest()), mkPrepare(1, req.Digest())}}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := e.validatePreparedProof(&tt.proof, tt.view); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package signal
+
+// FilterPolicy says how a signal kind is reduced before logging, mirroring
+// JRU practice (§III-A: "filter the data according to relevance and for
+// higher efficiency as is common practice in JRUs, e.g., to log the speed
+// only upon changes").
+type FilterPolicy uint8
+
+const (
+	// LogAlways records the signal every cycle it appears.
+	LogAlways FilterPolicy = iota + 1
+	// LogOnChange records the signal only when its value differs from the
+	// previously recorded one on the same port.
+	LogOnChange
+)
+
+// Filter applies per-port change detection. It is stateful: one Filter per
+// bus connection, fed in cycle order. Filters run identically on every node
+// (the transformation steps are "verified and approved" per §III-A), so
+// identical bus input yields identical filtered output on all nodes.
+type Filter struct {
+	policies map[Kind]FilterPolicy
+	last     map[uint16]Signal
+}
+
+// DefaultPolicies reflect typical JRU configuration: continuous channels are
+// logged on change, discrete events always.
+func DefaultPolicies() map[Kind]FilterPolicy {
+	return map[Kind]FilterPolicy{
+		KindSpeed:          LogOnChange,
+		KindOdometer:       LogOnChange,
+		KindBrakePressure:  LogOnChange,
+		KindTraction:       LogOnChange,
+		KindCabSignal:      LogOnChange,
+		KindDoorState:      LogOnChange,
+		KindEmergencyBrake: LogAlways,
+		KindATPCommand:     LogAlways,
+		KindBulkData:       LogAlways,
+	}
+}
+
+// NewFilter creates a filter with the given policies; kinds without a policy
+// default to LogAlways.
+func NewFilter(policies map[Kind]FilterPolicy) *Filter {
+	if policies == nil {
+		policies = DefaultPolicies()
+	}
+	return &Filter{
+		policies: policies,
+		last:     make(map[uint16]Signal),
+	}
+}
+
+// Apply returns the subset of signals that must be logged for this cycle.
+// The returned slice shares backing storage with the input only when all
+// signals pass.
+func (f *Filter) Apply(signals []Signal) []Signal {
+	out := signals[:0:0]
+	for _, s := range signals {
+		if f.shouldLog(s) {
+			out = append(out, s)
+			f.last[s.Port] = s
+		}
+	}
+	return out
+}
+
+func (f *Filter) shouldLog(s Signal) bool {
+	policy, ok := f.policies[s.Kind]
+	if !ok {
+		policy = LogAlways
+	}
+	if policy == LogAlways {
+		return true
+	}
+	prev, seen := f.last[s.Port]
+	if !seen {
+		return true
+	}
+	return prev.Value != s.Value || prev.Discrete != s.Discrete
+}
+
+// Reset clears the change-detection state, e.g. after a bus reconnect when
+// continuity with the previous values is no longer guaranteed.
+func (f *Filter) Reset() {
+	f.last = make(map[uint16]Signal)
+}

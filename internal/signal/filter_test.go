@@ -1,0 +1,91 @@
+package signal
+
+import "testing"
+
+func TestFilterOnChangeSuppressesRepeats(t *testing.T) {
+	f := NewFilter(nil)
+	s := Signal{Port: PortSpeed, Kind: KindSpeed, Value: 100}
+
+	if got := f.Apply([]Signal{s}); len(got) != 1 {
+		t.Fatalf("first observation filtered: %v", got)
+	}
+	if got := f.Apply([]Signal{s}); len(got) != 0 {
+		t.Fatalf("repeat not filtered: %v", got)
+	}
+	s.Value = 101
+	if got := f.Apply([]Signal{s}); len(got) != 1 {
+		t.Fatalf("change filtered: %v", got)
+	}
+}
+
+func TestFilterOnChangeDiscreteChannel(t *testing.T) {
+	f := NewFilter(nil)
+	s := Signal{Port: PortDoors, Kind: KindDoorState, Discrete: 0}
+	f.Apply([]Signal{s})
+	s.Discrete = 0x0f
+	if got := f.Apply([]Signal{s}); len(got) != 1 {
+		t.Fatal("discrete change filtered")
+	}
+}
+
+func TestFilterAlwaysKindsPass(t *testing.T) {
+	f := NewFilter(nil)
+	s := Signal{Port: PortEmergency, Kind: KindEmergencyBrake, Discrete: 1}
+	for i := 0; i < 3; i++ {
+		if got := f.Apply([]Signal{s}); len(got) != 1 {
+			t.Fatalf("iteration %d: emergency brake filtered", i)
+		}
+	}
+}
+
+func TestFilterUnknownKindDefaultsToAlways(t *testing.T) {
+	f := NewFilter(map[Kind]FilterPolicy{})
+	s := Signal{Port: 0x999, Kind: KindSpeed, Value: 5}
+	f.Apply([]Signal{s})
+	if got := f.Apply([]Signal{s}); len(got) != 1 {
+		t.Error("kind without policy was filtered")
+	}
+}
+
+func TestFilterTracksPortsIndependently(t *testing.T) {
+	f := NewFilter(nil)
+	a := Signal{Port: PortSpeed, Kind: KindSpeed, Value: 10}
+	b := Signal{Port: PortBrake, Kind: KindBrakePressure, Value: 10}
+	if got := f.Apply([]Signal{a, b}); len(got) != 2 {
+		t.Fatalf("first cycle = %d signals", len(got))
+	}
+	a.Value = 11
+	if got := f.Apply([]Signal{a, b}); len(got) != 1 || got[0].Port != PortSpeed {
+		t.Fatalf("second cycle = %+v", got)
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	f := NewFilter(nil)
+	s := Signal{Port: PortSpeed, Kind: KindSpeed, Value: 50}
+	f.Apply([]Signal{s})
+	f.Reset()
+	if got := f.Apply([]Signal{s}); len(got) != 1 {
+		t.Error("signal filtered after Reset")
+	}
+}
+
+func TestFilterDoesNotMutateInput(t *testing.T) {
+	f := NewFilter(nil)
+	in := []Signal{
+		{Port: PortSpeed, Kind: KindSpeed, Value: 1},
+		{Port: PortBrake, Kind: KindBrakePressure, Value: 2},
+	}
+	f.Apply(in)
+	in2 := []Signal{
+		{Port: PortSpeed, Kind: KindSpeed, Value: 1}, // repeat: filtered
+		{Port: PortBrake, Kind: KindBrakePressure, Value: 3},
+	}
+	out := f.Apply(in2)
+	if len(out) != 1 || out[0].Value != 3 {
+		t.Fatalf("out = %+v", out)
+	}
+	if in2[0].Value != 1 || in2[1].Value != 3 {
+		t.Errorf("input mutated: %+v", in2)
+	}
+}

@@ -1,0 +1,227 @@
+package signal
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// GeneratorConfig parameterizes the ATP-style workload generator that stands
+// in for the paper's DDC signal generator (§V-A).
+type GeneratorConfig struct {
+	// Seed makes the generated drive reproducible.
+	Seed int64
+	// PayloadSize, when > 0, pads each cycle's record with a KindBulkData
+	// signal so the marshalled payload reaches approximately this many
+	// bytes — the knob behind the paper's payload-size sweeps (32 B–8 kB).
+	PayloadSize int
+	// StationSpacing is the number of cycles between station stops.
+	StationSpacing uint64
+	// MaxSpeed is the drive's top speed in km/h.
+	MaxSpeed float64
+}
+
+// DefaultGeneratorConfig returns the configuration used by the testbed:
+// a commuter-style drive with stops and a 120 km/h ceiling.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{
+		Seed:           1,
+		StationSpacing: 2000,
+		MaxSpeed:       120,
+	}
+}
+
+// Generator simulates the data sources on the vehicle bus: the ATP and the
+// control systems publishing speed, odometry, brake, door, and command data
+// every cycle. It produces the exact per-cycle signal sets a JRU observes.
+type Generator struct {
+	cfg GeneratorConfig
+	rng *rand.Rand
+
+	speed    float64 // km/h
+	odometer float64 // m
+	brake    float64 // bar
+	doors    uint32  // bitmap, 0 = all closed
+	phase    drivePhase
+	phaseEnd uint64 // cycle at which the current phase ends
+	aspect   uint32 // current cab signal aspect
+}
+
+type drivePhase uint8
+
+const (
+	phaseAccelerate drivePhase = iota + 1
+	phaseCruise
+	phaseBrake
+	phaseDwell
+)
+
+// NewGenerator creates a generator for the given configuration.
+func NewGenerator(cfg GeneratorConfig) *Generator {
+	if cfg.StationSpacing == 0 {
+		cfg.StationSpacing = 2000
+	}
+	if cfg.MaxSpeed <= 0 {
+		cfg.MaxSpeed = 120
+	}
+	return &Generator{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		brake:    5.0, // released
+		phase:    phaseAccelerate,
+		phaseEnd: cfg.StationSpacing / 2, // accelerate + cruise leg
+	}
+}
+
+// CycleSeconds is the modelled real-time length of one bus cycle for the
+// dynamics integration. The recorder does not depend on it; it only shapes
+// how fast values change between cycles.
+const CycleSeconds = 0.064
+
+// Generate produces the signals transmitted on the bus during one cycle.
+// Successive calls must pass increasing cycle numbers.
+func (g *Generator) Generate(cycle uint64) []Signal {
+	g.step(cycle)
+
+	signals := []Signal{
+		{Port: PortSpeed, Kind: KindSpeed, Value: round1(g.speed), Cycle: cycle},
+		// Odometry at centimetre resolution: it advances every cycle the
+		// train moves, which keeps one juridical record per bus cycle —
+		// matching the paper's fixed number of messages per second.
+		{Port: PortOdometer, Kind: KindOdometer, Value: round2(g.odometer), Cycle: cycle},
+		{Port: PortBrake, Kind: KindBrakePressure, Value: round1(g.brake), Cycle: cycle},
+		{Port: PortDoors, Kind: KindDoorState, Discrete: g.doors, Cycle: cycle},
+		{Port: PortCabSignal, Kind: KindCabSignal, Discrete: g.aspect, Cycle: cycle},
+		{Port: PortTraction, Kind: KindTraction, Value: round1(g.traction()), Cycle: cycle},
+	}
+	// Occasional ATP interventions: the juridically interesting events.
+	if g.rng.Float64() < 0.01 {
+		signals = append(signals, Signal{
+			Port:     PortATP,
+			Kind:     KindATPCommand,
+			Discrete: uint32(1 + g.rng.Intn(5)),
+			Cycle:    cycle,
+		})
+	}
+	if g.phase == phaseBrake && g.speed > 30 && g.rng.Float64() < 0.002 {
+		signals = append(signals, Signal{
+			Port: PortEmergency, Kind: KindEmergencyBrake, Discrete: 1, Cycle: cycle,
+		})
+	}
+	if pad := g.padding(signals, cycle); pad != nil {
+		signals = append(signals, *pad)
+	}
+	return signals
+}
+
+// step advances the drive dynamics by one cycle.
+func (g *Generator) step(cycle uint64) {
+	if cycle >= g.phaseEnd {
+		g.nextPhase(cycle)
+	}
+	const dt = CycleSeconds
+	switch g.phase {
+	case phaseAccelerate:
+		g.speed += (2.0 + g.rng.Float64()) * dt * 3.6 // ~1 m/s² in km/h per s
+		if g.speed >= g.cfg.MaxSpeed {
+			g.speed = g.cfg.MaxSpeed
+			g.phase = phaseCruise
+		}
+		g.brake = 5.0
+	case phaseCruise:
+		g.speed += (g.rng.Float64() - 0.5) * dt * 2
+		g.speed = math.Min(math.Max(g.speed, 0), g.cfg.MaxSpeed)
+		g.brake = 5.0
+	case phaseBrake:
+		g.speed -= (2.5 + g.rng.Float64()) * dt * 3.6
+		g.brake = 3.2
+		if g.speed <= 0 {
+			g.speed = 0
+			g.phase = phaseDwell
+			g.doors = 0x0f // open
+		}
+	case phaseDwell:
+		g.speed = 0
+		g.brake = 0.8 // holding brake
+	}
+	g.odometer += g.speed / 3.6 * dt
+	g.aspect = aspectFor(g.speed)
+}
+
+func (g *Generator) nextPhase(cycle uint64) {
+	quarter := g.cfg.StationSpacing / 4
+	switch g.phase {
+	case phaseAccelerate, phaseCruise:
+		g.phase = phaseBrake
+		g.phaseEnd = cycle + quarter
+	case phaseBrake:
+		g.phase = phaseDwell
+		g.phaseEnd = cycle + quarter/2
+		g.doors = 0x0f
+	default:
+		g.phase = phaseAccelerate
+		g.phaseEnd = cycle + 2*quarter
+		g.doors = 0
+	}
+}
+
+func (g *Generator) traction() float64 {
+	if g.phase == phaseAccelerate {
+		return 150 + g.rng.Float64()*20
+	}
+	return 0
+}
+
+// padding builds the bulk-data filler signal reaching the configured payload
+// size. The filler is deterministic in the cycle number so all nodes reading
+// the same bus cycle build identical payloads.
+func (g *Generator) padding(signals []Signal, cycle uint64) *Signal {
+	if g.cfg.PayloadSize <= 0 {
+		return nil
+	}
+	r := Record{Cycle: cycle, Signals: signals}
+	base := len(r.Marshal())
+	const bulkOverhead = 25 // encoded Signal framing without opaque bytes
+	need := g.cfg.PayloadSize - base - bulkOverhead
+	if need <= 0 {
+		return nil
+	}
+	opaque := make([]byte, need)
+	// Cheap deterministic filler keyed by cycle, standing in for the
+	// source-encrypted data the JRU logs as-is.
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], cycle)
+	for i := range opaque {
+		opaque[i] = seed[i%8] ^ byte(i*131)
+	}
+	return &Signal{Port: PortBulk, Kind: KindBulkData, Opaque: opaque, Cycle: cycle}
+}
+
+func aspectFor(speed float64) uint32 {
+	switch {
+	case speed == 0:
+		return 0 // stop
+	case speed < 40:
+		return 1 // caution
+	default:
+		return 2 // clear
+	}
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// Well-known MVB process-data port assignments used by the generator and the
+// default NSDB configuration.
+const (
+	PortSpeed     uint16 = 0x100
+	PortOdometer  uint16 = 0x101
+	PortBrake     uint16 = 0x102
+	PortDoors     uint16 = 0x103
+	PortCabSignal uint16 = 0x104
+	PortTraction  uint16 = 0x105
+	PortATP       uint16 = 0x106
+	PortEmergency uint16 = 0x107
+	PortBulk      uint16 = 0x1f0
+)

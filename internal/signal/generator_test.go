@@ -1,0 +1,132 @@
+package signal
+
+import (
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	g1 := NewGenerator(cfg)
+	g2 := NewGenerator(cfg)
+	for cycle := uint64(0); cycle < 500; cycle++ {
+		r1 := Record{Cycle: cycle, Signals: g1.Generate(cycle)}
+		r2 := Record{Cycle: cycle, Signals: g2.Generate(cycle)}
+		if string(r1.Marshal()) != string(r2.Marshal()) {
+			t.Fatalf("cycle %d: generators diverged", cycle)
+		}
+	}
+}
+
+func TestGeneratorCoreSignalsPresent(t *testing.T) {
+	g := NewGenerator(DefaultGeneratorConfig())
+	signals := g.Generate(0)
+	wantPorts := []uint16{PortSpeed, PortOdometer, PortBrake, PortDoors, PortCabSignal, PortTraction}
+	for _, port := range wantPorts {
+		found := false
+		for _, s := range signals {
+			if s.Port == port {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("cycle 0 missing port %#x", port)
+		}
+	}
+}
+
+func TestGeneratorDrivesDynamics(t *testing.T) {
+	g := NewGenerator(DefaultGeneratorConfig())
+	var maxSpeed float64
+	var sawStop, sawDoorsOpen bool
+	for cycle := uint64(0); cycle < 6000; cycle++ {
+		for _, s := range g.Generate(cycle) {
+			switch s.Kind {
+			case KindSpeed:
+				if s.Value > maxSpeed {
+					maxSpeed = s.Value
+				}
+				if cycle > 100 && s.Value == 0 {
+					sawStop = true
+				}
+				if s.Value < 0 {
+					t.Fatalf("cycle %d: negative speed %v", cycle, s.Value)
+				}
+				if s.Value > 121 {
+					t.Fatalf("cycle %d: speed %v exceeds max", cycle, s.Value)
+				}
+			case KindDoorState:
+				if s.Discrete != 0 {
+					sawDoorsOpen = true
+				}
+			}
+		}
+	}
+	if maxSpeed < 50 {
+		t.Errorf("max speed %v, want a real drive profile", maxSpeed)
+	}
+	if !sawStop {
+		t.Error("train never stopped at a station")
+	}
+	if !sawDoorsOpen {
+		t.Error("doors never opened")
+	}
+}
+
+func TestGeneratorOdometerMonotone(t *testing.T) {
+	g := NewGenerator(DefaultGeneratorConfig())
+	prev := -1.0
+	for cycle := uint64(0); cycle < 2000; cycle++ {
+		for _, s := range g.Generate(cycle) {
+			if s.Kind == KindOdometer {
+				if s.Value < prev {
+					t.Fatalf("cycle %d: odometer went backwards %v -> %v", cycle, prev, s.Value)
+				}
+				prev = s.Value
+			}
+		}
+	}
+	if prev <= 0 {
+		t.Error("odometer never advanced")
+	}
+}
+
+func TestGeneratorPayloadPadding(t *testing.T) {
+	for _, size := range []int{128, 1024, 8192} {
+		cfg := DefaultGeneratorConfig()
+		cfg.PayloadSize = size
+		g := NewGenerator(cfg)
+		for cycle := uint64(0); cycle < 20; cycle++ {
+			rec := Record{Cycle: cycle, Signals: g.Generate(cycle)}
+			got := len(rec.Marshal())
+			if got < size*8/10 || got > size+64 {
+				t.Errorf("size %d cycle %d: payload %d bytes", size, cycle, got)
+			}
+		}
+	}
+}
+
+func TestGeneratorPaddingDeterministicAcrossInstances(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.PayloadSize = 1024
+	g1 := NewGenerator(cfg)
+	g2 := NewGenerator(cfg)
+	for cycle := uint64(0); cycle < 50; cycle++ {
+		r1 := Record{Cycle: cycle, Signals: g1.Generate(cycle)}
+		r2 := Record{Cycle: cycle, Signals: g2.Generate(cycle)}
+		if string(r1.Marshal()) != string(r2.Marshal()) {
+			t.Fatalf("cycle %d: padded payloads differ between nodes", cycle)
+		}
+	}
+}
+
+func TestGeneratorSmallPayloadNoPadding(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.PayloadSize = 32 // smaller than the base record: no padding possible
+	g := NewGenerator(cfg)
+	for _, s := range g.Generate(0) {
+		if s.Kind == KindBulkData {
+			t.Error("padding added despite payload target below base size")
+		}
+	}
+}

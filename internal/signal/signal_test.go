@@ -1,0 +1,145 @@
+package signal
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordMarshalRoundTrip(t *testing.T) {
+	in := &Record{
+		Cycle: 42,
+		Signals: []Signal{
+			{Port: PortSpeed, Kind: KindSpeed, Value: 88.5, Cycle: 42},
+			{Port: PortDoors, Kind: KindDoorState, Discrete: 0x0f, Cycle: 42},
+			{Port: PortBulk, Kind: KindBulkData, Opaque: []byte{1, 2, 3}, Cycle: 42},
+		},
+	}
+	out, err := UnmarshalRecord(in.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalRecord: %v", err)
+	}
+	if out.Cycle != in.Cycle || len(out.Signals) != len(in.Signals) {
+		t.Fatalf("got %+v", out)
+	}
+	for i := range in.Signals {
+		a, b := in.Signals[i], out.Signals[i]
+		if a.Port != b.Port || a.Kind != b.Kind || a.Value != b.Value ||
+			a.Discrete != b.Discrete || a.Cycle != b.Cycle || !bytes.Equal(a.Opaque, b.Opaque) {
+			t.Errorf("signal %d: got %+v, want %+v", i, b, a)
+		}
+	}
+}
+
+func TestRecordMarshalDeterministic(t *testing.T) {
+	r := &Record{Cycle: 7, Signals: []Signal{
+		{Port: PortSpeed, Kind: KindSpeed, Value: 12.5, Cycle: 7},
+	}}
+	if !bytes.Equal(r.Marshal(), r.Marshal()) {
+		t.Error("Marshal is not deterministic")
+	}
+}
+
+func TestUnmarshalRecordErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated", (&Record{Cycle: 1, Signals: []Signal{{Port: 1, Kind: KindSpeed}}}).Marshal()[:10]},
+		{"bogus count", append(make([]byte, 8), 0xff, 0xff, 0xff, 0xff, 0x7f)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalRecord(tt.data); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestUnmarshalRecordTrailing(t *testing.T) {
+	data := (&Record{Cycle: 1}).Marshal()
+	data = append(data, 0xaa)
+	if _, err := UnmarshalRecord(data); err == nil {
+		t.Error("want error for trailing bytes")
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(cycle uint64, vals []float64, disc []uint32) bool {
+		r := &Record{Cycle: cycle}
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			var dc uint32
+			if i < len(disc) {
+				dc = disc[i]
+			}
+			r.Signals = append(r.Signals, Signal{
+				Port: uint16(i), Kind: KindSpeed, Value: v, Discrete: dc, Cycle: cycle,
+			})
+		}
+		out, err := UnmarshalRecord(r.Marshal())
+		if err != nil || out.Cycle != cycle || len(out.Signals) != len(r.Signals) {
+			return false
+		}
+		for i := range r.Signals {
+			if !signalsEqualIgnoringOpaque(out.Signals[i], r.Signals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func signalsEqualIgnoringOpaque(a, b Signal) bool {
+	a.Opaque, b.Opaque = nil, nil
+	return a.Port == b.Port && a.Kind == b.Kind && a.Value == b.Value &&
+		a.Discrete == b.Discrete && a.Cycle == b.Cycle
+}
+
+func TestPortEncodeDecodeRoundTrip(t *testing.T) {
+	in := Signal{Port: PortBrake, Kind: KindBrakePressure, Value: 3.2, Discrete: 9, Cycle: 11}
+	out, err := DecodePort(PortBrake, EncodePort(in), 11)
+	if err != nil {
+		t.Fatalf("DecodePort: %v", err)
+	}
+	if out.Port != in.Port || out.Kind != in.Kind || out.Value != in.Value ||
+		out.Discrete != in.Discrete || out.Cycle != 11 {
+		t.Errorf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodePortRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{1, 2, 3}},
+		{"bad kind", append([]byte{0xee}, make([]byte, 13)...)},
+		{"trailing", append(EncodePort(Signal{Kind: KindSpeed}), 0x00)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodePort(1, tt.data, 0); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if got := KindSpeed.String(); got != "speed" {
+		t.Errorf("KindSpeed.String() = %q", got)
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

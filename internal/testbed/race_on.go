@@ -1,0 +1,9 @@
+//go:build race
+
+package testbed
+
+// RaceEnabled reports whether the race detector is compiled in. Scenario
+// timing must be relaxed under the detector: signing and message handling
+// slow down by an order of magnitude, so aggressive TimeScale compression
+// outruns consensus.
+const RaceEnabled = true

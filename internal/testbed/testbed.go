@@ -1,0 +1,521 @@
+// Package testbed builds the evaluation environment of §V: four replicas
+// (the paper's M-COMs) on a simulated Ethernet, fed by a simulated MVB with
+// an ATP workload generator, running either ZugChain or the PBFT-with-
+// clients baseline. Scenarios sweep bus cycle and payload size, inject
+// Byzantine behaviours, and collect the latency / network / CPU-proxy /
+// memory measurements behind Figs 6–9 and Table II.
+//
+// Scenarios run in real time. Because commodity CPUs order requests in
+// microseconds where the paper's 800 MHz ARM boards take milliseconds,
+// scenarios support a TimeScale that divides the bus cycle and all timeouts
+// equally — ratios between systems and the shape across sweeps are
+// preserved while wall-clock cost shrinks.
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"zugchain/internal/baseline"
+	"zugchain/internal/clock"
+	"zugchain/internal/core"
+	"zugchain/internal/crypto"
+	"zugchain/internal/metrics"
+	"zugchain/internal/mvb"
+	"zugchain/internal/node"
+	"zugchain/internal/pbft"
+	"zugchain/internal/signal"
+	"zugchain/internal/transport"
+	"zugchain/internal/wire"
+)
+
+// System selects which recorder architecture a scenario runs.
+type System int
+
+// Available systems.
+const (
+	ZugChain System = iota + 1
+	Baseline
+)
+
+// String names the system.
+func (s System) String() string {
+	if s == Baseline {
+		return "baseline"
+	}
+	return "zugchain"
+}
+
+// Scenario describes one evaluation run.
+type Scenario struct {
+	// System is ZugChain or Baseline.
+	System System
+	// Nodes is the replica count (the testbed has 4 M-COMs).
+	Nodes int
+	// BusCycle is the MVB cycle time (32–256 ms in Fig 6).
+	BusCycle time.Duration
+	// PayloadSize pads each cycle's record (32 B – 8 kB in Fig 6).
+	PayloadSize int
+	// Cycles is the number of bus cycles to run.
+	Cycles int
+	// BlockSize is requests per block/checkpoint (10 in §V).
+	BlockSize uint64
+	// TimeScale divides BusCycle and all timeouts (1 = real time).
+	TimeScale int
+	// SoftTimeout and HardTimeout for ZugChain (paper: 250 ms each);
+	// ClientTimeout for the baseline (paper: 500 ms). Pre-scaling values.
+	SoftTimeout   time.Duration
+	HardTimeout   time.Duration
+	ClientTimeout time.Duration
+	ViewTimeout   time.Duration
+	// BusFaults configures per-node bus fault injection.
+	BusFaults []mvb.FaultConfig
+	// FabricateRate makes the node FabricateNode inject a fabricated
+	// request in this fraction of bus cycles (Fig 9a).
+	FabricateRate float64
+	FabricateNode int
+	// PrimaryDelay delays the primary's preprepares (Fig 9b).
+	PrimaryDelay time.Duration
+	// KillPrimaryAtCycle isolates the primary at the given cycle and has
+	// the backups detect the fault (Fig 8). Zero disables.
+	KillPrimaryAtCycle int
+	// SuspectOnFirstTimeout configures Fig 8's one-shot baseline timeout.
+	SuspectOnFirstTimeout bool
+	// Seed drives workload and fault randomness.
+	Seed int64
+	// LinkLatency is the per-hop Ethernet latency.
+	LinkLatency time.Duration
+}
+
+func (s *Scenario) applyDefaults() {
+	if s.System == 0 {
+		s.System = ZugChain
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 4
+	}
+	if s.BusCycle == 0 {
+		s.BusCycle = 64 * time.Millisecond
+	}
+	if s.Cycles == 0 {
+		s.Cycles = 100
+	}
+	if s.BlockSize == 0 {
+		s.BlockSize = 10
+	}
+	if s.TimeScale <= 0 {
+		s.TimeScale = 1
+	}
+	if s.SoftTimeout == 0 {
+		s.SoftTimeout = 250 * time.Millisecond
+	}
+	if s.HardTimeout == 0 {
+		s.HardTimeout = 250 * time.Millisecond
+	}
+	if s.ClientTimeout == 0 {
+		s.ClientTimeout = 500 * time.Millisecond
+	}
+	if s.ViewTimeout == 0 {
+		s.ViewTimeout = 500 * time.Millisecond
+	}
+	if s.FabricateNode == 0 {
+		s.FabricateNode = 3
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+func (s *Scenario) scaled(d time.Duration) time.Duration {
+	return d / time.Duration(s.TimeScale)
+}
+
+// Result aggregates a scenario's measurements.
+type Result struct {
+	Scenario Scenario
+	// Duration is the wall-clock run time.
+	Duration time.Duration
+	// Latency aggregates receive-to-decide latency across all nodes
+	// (scaled back up by TimeScale so numbers are comparable).
+	Latency metrics.LatencyStats
+	// Timeline holds per-decide latency samples relative to run start
+	// (for Fig 8). Times are unscaled wall-clock.
+	Timeline []TimelinePoint
+	// FaultAt is when the primary was killed (Fig 8), relative to start.
+	FaultAt time.Duration
+	// NetBytesPerNodePerSec is the mean transport traffic per node.
+	NetBytesPerNodePerSec float64
+	// MsgsPerNode is the mean transport message count per node.
+	MsgsPerNode float64
+	// CPUWorkPerNode is the CPU-load proxy per node (see metrics).
+	CPUWorkPerNode float64
+	// AllocPerNode is allocated bytes per node during the run (memory
+	// churn proxy).
+	AllocPerNode uint64
+	// HeapAlloc is the retained heap after the run.
+	HeapAlloc uint64
+	// Ordered counts totally ordered, logged requests (chain entries on
+	// node 0); Duplicates counts filtered duplicates on node 0.
+	Ordered    uint64
+	Duplicates uint64
+	// Blocks is node 0's final chain height.
+	Blocks uint64
+}
+
+// TimelinePoint is one latency observation on the Fig 8 timeline.
+type TimelinePoint struct {
+	Since   time.Duration // decide time relative to run start
+	Latency time.Duration // scaled back to paper-equivalent time
+}
+
+// Run executes one scenario to completion.
+func Run(s Scenario) (*Result, error) {
+	s.applyDefaults()
+	if s.System == Baseline {
+		return runBaseline(s)
+	}
+	return runZugChain(s)
+}
+
+// buildKeys creates replica key pairs and the shared registry.
+func buildKeys(n int) ([]crypto.NodeID, map[crypto.NodeID]*crypto.KeyPair, *crypto.Registry) {
+	ids := make([]crypto.NodeID, n)
+	kps := make(map[crypto.NodeID]*crypto.KeyPair, n)
+	pairs := make([]*crypto.KeyPair, 0, n)
+	for i := 0; i < n; i++ {
+		id := crypto.NodeID(i)
+		ids[i] = id
+		kp := crypto.MustGenerateKeyPair(id)
+		kps[id] = kp
+		pairs = append(pairs, kp)
+	}
+	return ids, kps, crypto.NewRegistry(pairs...)
+}
+
+// buildBus assembles the MVB with the ATP generator for the scenario.
+func buildBus(s Scenario) *mvb.Bus {
+	genCfg := signal.DefaultGeneratorConfig()
+	genCfg.Seed = s.Seed
+	genCfg.PayloadSize = s.PayloadSize
+	bus := mvb.NewBus(mvb.Config{CycleTime: s.scaled(s.BusCycle)})
+	bus.Attach(mvb.NewSignalDevice(signal.NewGenerator(genCfg)))
+	return bus
+}
+
+func (s *Scenario) faultsFor(i int) mvb.FaultConfig {
+	if i < len(s.BusFaults) {
+		return s.BusFaults[i]
+	}
+	return mvb.FaultConfig{}
+}
+
+func runZugChain(s Scenario) (*Result, error) {
+	net := transport.NewNetwork(
+		transport.WithSeed(s.Seed),
+		transport.WithDefaultLink(transport.LinkConfig{Latency: s.LinkLatency}),
+	)
+	defer net.Close()
+
+	ids, kps, reg := buildKeys(s.Nodes)
+	bus := buildBus(s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	nodes := make([]*node.Node, 0, s.Nodes)
+	readers := make([]*mvb.Reader, 0, s.Nodes)
+	for i, id := range ids {
+		cfg := node.Config{
+			ID:          id,
+			Replicas:    ids,
+			BlockSize:   s.BlockSize,
+			SoftTimeout: s.scaled(s.SoftTimeout),
+			HardTimeout: s.scaled(s.HardTimeout),
+			ViewTimeout: s.scaled(s.ViewTimeout),
+		}
+		n, err := node.New(cfg, kps[id], reg, net.Endpoint(id), clock.Real{})
+		if err != nil {
+			return nil, err
+		}
+		reader := bus.NewReader(s.faultsFor(i), s.Seed+int64(i))
+		nodes = append(nodes, n)
+		readers = append(readers, reader)
+	}
+	defer func() {
+		cancel() // release RunBus goroutines before Stop waits on them
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	for i, n := range nodes {
+		n.Start()
+		n.RunBus(ctx, readers[i])
+	}
+
+	// Fig 9b: the primary delays its preprepares.
+	if s.PrimaryDelay > 0 {
+		delay := s.scaled(s.PrimaryDelay)
+		net.SetInterceptor(0, func(to crypto.NodeID, data []byte) (time.Duration, bool) {
+			if isPrePrepare(data) {
+				return delay, false
+			}
+			return 0, false
+		})
+	}
+
+	// Fig 9a: a faulty backup fabricates requests.
+	fabricator := newFabricator(s, kps, net)
+
+	runtime.GC()
+	memBefore := metrics.SampleMemory()
+	start := time.Now()
+	var faultAt time.Duration
+
+	cycleTime := s.scaled(s.BusCycle)
+	ticker := time.NewTicker(cycleTime)
+	defer ticker.Stop()
+	for cycle := 0; cycle < s.Cycles; cycle++ {
+		<-ticker.C
+		bus.Tick()
+		if fabricator != nil {
+			fabricator.maybeInject(cycle)
+		}
+		if s.KillPrimaryAtCycle > 0 && cycle == s.KillPrimaryAtCycle {
+			faultAt = time.Since(start)
+			net.Isolate(0)
+			// The backups discover the fault as their timeout machinery
+			// fires; no explicit Suspect needed — hard timeouts do it.
+		}
+	}
+	// Drain: let in-flight ordering finish.
+	drainDeadline := time.Now().Add(2*s.scaled(s.SoftTimeout) + 2*s.scaled(s.HardTimeout) + 2*time.Second)
+	for time.Now().Before(drainDeadline) {
+		settled := true
+		for i, n := range nodes {
+			if s.KillPrimaryAtCycle > 0 && i == 0 {
+				continue // the killed primary never settles
+			}
+			if n.Layer().OpenRequests() > 0 {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	duration := time.Since(start)
+	memAfter := metrics.SampleMemory()
+
+	res := &Result{
+		Scenario: s,
+		Duration: duration,
+		FaultAt:  faultAt,
+		Blocks:   nodes[0].Store().HeadIndex(),
+	}
+
+	// Aggregate latency across surviving nodes, scaling back to
+	// paper-equivalent time.
+	agg := &metrics.Latency{}
+	for i, n := range nodes {
+		if s.KillPrimaryAtCycle > 0 && i == 0 {
+			continue
+		}
+		for _, ts := range n.Layer().Latency().TimedSamples() {
+			agg.Record(ts.D * time.Duration(s.TimeScale))
+			res.Timeline = append(res.Timeline, TimelinePoint{
+				Since:   ts.At.Sub(start),
+				Latency: ts.D * time.Duration(s.TimeScale),
+			})
+		}
+	}
+	res.Latency = agg.Stats()
+
+	var bytesTotal, msgsTotal uint64
+	var cpuTotal float64
+	for _, id := range ids {
+		snap := net.Endpoint(id).Counters().Snapshot()
+		layerSnap := nodes[id].Layer().Counters().Snapshot()
+		bytesTotal += snap.BytesSent
+		msgsTotal += snap.MsgsSent + snap.MsgsReceived
+		// Signature work: one per sent protocol message (signing) and one
+		// per received (verification) approximates the Ed25519 load.
+		work := metrics.CounterSnapshot{
+			MsgsSent:      snap.MsgsSent,
+			MsgsReceived:  snap.MsgsReceived,
+			BytesSent:     snap.BytesSent,
+			BytesReceived: snap.BytesReceived,
+			Signatures:    snap.MsgsSent + layerSnap.Signatures,
+			Verifications: snap.MsgsReceived,
+		}
+		cpuTotal += work.CPUWorkUnits()
+	}
+	seconds := duration.Seconds()
+	res.NetBytesPerNodePerSec = float64(bytesTotal) / float64(s.Nodes) / seconds
+	res.MsgsPerNode = float64(msgsTotal) / float64(s.Nodes)
+	res.CPUWorkPerNode = cpuTotal / float64(s.Nodes)
+	res.AllocPerNode = (memAfter.TotalAlloc - memBefore.TotalAlloc) / uint64(s.Nodes)
+	res.HeapAlloc = memAfter.HeapAlloc
+
+	node0Snap := nodes[0].Layer().Counters().Snapshot()
+	res.Ordered = node0Snap.Requests
+	for _, n := range nodes {
+		res.Duplicates += n.Layer().Counters().Snapshot().Duplicates
+	}
+	return res, nil
+}
+
+func runBaseline(s Scenario) (*Result, error) {
+	net := transport.NewNetwork(
+		transport.WithSeed(s.Seed),
+		transport.WithDefaultLink(transport.LinkConfig{Latency: s.LinkLatency}),
+	)
+	defer net.Close()
+
+	ids, kps, reg := buildKeys(s.Nodes)
+	bus := buildBus(s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	nodes := make([]*baseline.Node, 0, s.Nodes)
+	readers := make([]*mvb.Reader, 0, s.Nodes)
+	for i, id := range ids {
+		cfg := baseline.Config{
+			ID:                    id,
+			Replicas:              ids,
+			BlockSize:             s.BlockSize,
+			ClientTimeout:         s.scaled(s.ClientTimeout),
+			ViewTimeout:           s.scaled(s.ViewTimeout),
+			SuspectOnFirstTimeout: s.SuspectOnFirstTimeout,
+		}
+		n, err := baseline.New(cfg, kps[id], reg, net.Endpoint(id), clock.Real{})
+		if err != nil {
+			return nil, err
+		}
+		reader := bus.NewReader(s.faultsFor(i), s.Seed+int64(i))
+		nodes = append(nodes, n)
+		readers = append(readers, reader)
+	}
+	defer func() {
+		cancel()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	for i, n := range nodes {
+		n.Start()
+		n.RunBus(ctx, readers[i])
+	}
+
+	runtime.GC()
+	memBefore := metrics.SampleMemory()
+	start := time.Now()
+	var faultAt time.Duration
+
+	ticker := time.NewTicker(s.scaled(s.BusCycle))
+	defer ticker.Stop()
+	for cycle := 0; cycle < s.Cycles; cycle++ {
+		<-ticker.C
+		bus.Tick()
+		if s.KillPrimaryAtCycle > 0 && cycle == s.KillPrimaryAtCycle {
+			faultAt = time.Since(start)
+			net.Isolate(0)
+		}
+	}
+	time.Sleep(2 * s.scaled(s.ClientTimeout))
+	duration := time.Since(start)
+	memAfter := metrics.SampleMemory()
+
+	res := &Result{
+		Scenario: s,
+		Duration: duration,
+		FaultAt:  faultAt,
+		Blocks:   nodes[1].Store().HeadIndex(),
+	}
+
+	agg := &metrics.Latency{}
+	for i, n := range nodes {
+		if s.KillPrimaryAtCycle > 0 && i == 0 {
+			continue
+		}
+		for _, ts := range n.Latency().TimedSamples() {
+			agg.Record(ts.D * time.Duration(s.TimeScale))
+			res.Timeline = append(res.Timeline, TimelinePoint{
+				Since:   ts.At.Sub(start),
+				Latency: ts.D * time.Duration(s.TimeScale),
+			})
+		}
+	}
+	res.Latency = agg.Stats()
+
+	var bytesTotal, msgsTotal uint64
+	var cpuTotal float64
+	for _, id := range ids {
+		snap := net.Endpoint(id).Counters().Snapshot()
+		nodeSnap := nodes[id].Counters().Snapshot()
+		bytesTotal += snap.BytesSent
+		msgsTotal += snap.MsgsSent + snap.MsgsReceived
+		work := metrics.CounterSnapshot{
+			MsgsSent:      snap.MsgsSent,
+			MsgsReceived:  snap.MsgsReceived,
+			BytesSent:     snap.BytesSent,
+			BytesReceived: snap.BytesReceived,
+			Signatures:    snap.MsgsSent + nodeSnap.Signatures,
+			Verifications: snap.MsgsReceived,
+		}
+		cpuTotal += work.CPUWorkUnits()
+	}
+	seconds := duration.Seconds()
+	res.NetBytesPerNodePerSec = float64(bytesTotal) / float64(s.Nodes) / seconds
+	res.MsgsPerNode = float64(msgsTotal) / float64(s.Nodes)
+	res.CPUWorkPerNode = cpuTotal / float64(s.Nodes)
+	res.AllocPerNode = (memAfter.TotalAlloc - memBefore.TotalAlloc) / uint64(s.Nodes)
+	res.HeapAlloc = memAfter.HeapAlloc
+	res.Ordered = nodes[1].Counters().Snapshot().Requests
+	return res, nil
+}
+
+// isPrePrepare matches the PBFT preprepare wire tag without decoding.
+func isPrePrepare(data []byte) bool {
+	return len(data) >= 2 && data[0] == 0x10 && data[1] == 0x00
+}
+
+// fabricator injects fabricated requests from a faulty backup (Fig 9a): the
+// node broadcasts well-signed requests whose payload no bus ever carried.
+type fabricator struct {
+	scenario Scenario
+	kp       *crypto.KeyPair
+	ep       *transport.Endpoint
+	rng      *rand.Rand
+	count    int
+}
+
+func newFabricator(s Scenario, kps map[crypto.NodeID]*crypto.KeyPair, net *transport.Network) *fabricator {
+	if s.FabricateRate <= 0 {
+		return nil
+	}
+	id := crypto.NodeID(s.FabricateNode)
+	return &fabricator{
+		scenario: s,
+		kp:       kps[id],
+		ep:       net.Endpoint(id),
+		rng:      rand.New(rand.NewSource(s.Seed + 77)),
+	}
+}
+
+func (f *fabricator) maybeInject(cycle int) {
+	if f.rng.Float64() >= f.scenario.FabricateRate {
+		return
+	}
+	f.count++
+	req := pbft.Request{
+		Payload: []byte(fmt.Sprintf("fabricated-%d-%d", cycle, f.count)),
+	}
+	pbft.SignRequest(&req, f.kp)
+	_ = f.ep.Broadcast(wire.Marshal(&core.ZCRequest{Req: req}))
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// tagged builds a message whose first two bytes are the little-endian tag.
+func tagged(tag uint16, body string) []byte {
+	out := []byte{byte(tag), byte(tag >> 8)}
+	return append(out, body...)
+}
+
+func TestMuxRoutesByTypeRange(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+
+	muxB := NewMux(b)
+	low := muxB.Channel(0x10, 0x2f)
+	high := muxB.Channel(0x30, 0x3f)
+
+	colLow := newCollector()
+	colHigh := newCollector()
+	low.SetHandler(colLow.handler)
+	high.SetHandler(colHigh.handler)
+
+	if err := a.Send(1, tagged(0x11, "pbft")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, tagged(0x30, "zc")); err != nil {
+		t.Fatal(err)
+	}
+	colLow.wait(t, 1)
+	colHigh.wait(t, 1)
+	if got := colLow.messages()[0]; got != string(tagged(0x11, "pbft")) {
+		t.Errorf("low channel got %q", got)
+	}
+	if got := colHigh.messages()[0]; got != string(tagged(0x30, "zc")) {
+		t.Errorf("high channel got %q", got)
+	}
+}
+
+func TestMuxDropsUnroutedAndShort(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+
+	muxB := NewMux(b)
+	ch := muxB.Channel(0x10, 0x1f)
+	col := newCollector()
+	ch.SetHandler(col.handler)
+
+	if err := a.Send(1, tagged(0xff, "unrouted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, []byte{0x10}); err != nil { // 1 byte: no tag
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if col.count() != 0 {
+		t.Errorf("received %d unrouted messages", col.count())
+	}
+}
+
+func TestMuxChannelSendPassThrough(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	c := net.Endpoint(2)
+
+	muxA := NewMux(a)
+	chA := muxA.Channel(0x10, 0x1f)
+	if chA.LocalID() != 0 {
+		t.Errorf("LocalID = %v", chA.LocalID())
+	}
+
+	colB := newCollector()
+	colC := newCollector()
+	b.SetHandler(colB.handler)
+	c.SetHandler(colC.handler)
+
+	if err := chA.Send(1, tagged(0x10, "direct")); err != nil {
+		t.Fatal(err)
+	}
+	colB.wait(t, 1)
+
+	if err := chA.Broadcast(tagged(0x10, "all")); err != nil {
+		t.Fatal(err)
+	}
+	colB.wait(t, 1)
+	colC.wait(t, 1)
+}

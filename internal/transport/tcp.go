@@ -1,0 +1,301 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"zugchain/internal/crypto"
+	"zugchain/internal/metrics"
+)
+
+// Frame format on a TCP connection:
+//
+//	hello (once, from dialer):  uint32 BE sender ID
+//	message (repeated):         uint32 BE length | payload
+//
+// maxFrameSize guards against hostile length prefixes.
+const maxFrameSize = 64 << 20
+
+// TCP is a Transport over real TCP connections. Outbound connections are
+// dialed lazily and redialed on failure; inbound connections are accepted on
+// the configured listen address and identified by their hello frame.
+type TCP struct {
+	id    crypto.NodeID
+	peers map[crypto.NodeID]string
+
+	listener net.Listener
+
+	mu      sync.Mutex
+	handler Handler
+	conns   map[crypto.NodeID]*peerConn // outbound, lazily dialed
+	closed  bool
+
+	wg       sync.WaitGroup
+	counters metrics.Counters
+
+	// DialTimeout bounds each outbound connection attempt.
+	DialTimeout time.Duration
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP creates a TCP transport for id listening on listenAddr. peers maps
+// every other node ID to its dialable address. Pass an empty listenAddr to
+// create a client-only transport (used by data centers that only dial).
+func NewTCP(id crypto.NodeID, listenAddr string, peers map[crypto.NodeID]string) (*TCP, error) {
+	t := &TCP{
+		id:          id,
+		peers:       peers,
+		conns:       make(map[crypto.NodeID]*peerConn),
+		DialTimeout: 2 * time.Second,
+	}
+	if listenAddr != "" {
+		ln, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+		}
+		t.listener = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// LocalID implements Transport.
+func (t *TCP) LocalID() crypto.NodeID { return t.id }
+
+// SetPeers installs the peer address map. Useful when all listeners must be
+// bound (port 0) before any address is known. Call before any Send.
+func (t *TCP) SetPeers(peers map[crypto.NodeID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers = peers
+}
+
+// Addr returns the bound listen address, useful when listening on port 0.
+func (t *TCP) Addr() string {
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Counters exposes this transport's traffic counters.
+func (t *TCP) Counters() *metrics.Counters { return &t.counters }
+
+// Send implements Transport.
+func (t *TCP) Send(to crypto.NodeID, data []byte) error {
+	pc, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	if err := pc.writeFrame(data); err != nil {
+		// Drop the broken connection; the next Send redials.
+		t.dropConn(to, pc)
+		return fmt.Errorf("transport: send to %v: %w", to, err)
+	}
+	t.counters.AddSent(len(data))
+	return nil
+}
+
+// Broadcast implements Transport. Failures to individual peers do not stop
+// the broadcast; the first error is returned.
+func (t *TCP) Broadcast(data []byte) error {
+	t.mu.Lock()
+	ids := make([]crypto.NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		if id != t.id {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.Unlock()
+	var firstErr error
+	for _, id := range ids {
+		if err := t.Send(id, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*peerConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[crypto.NodeID]*peerConn)
+	t.mu.Unlock()
+
+	if t.listener != nil {
+		_ = t.listener.Close()
+	}
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// conn returns a live outbound connection to peer, dialing if necessary.
+func (t *TCP) conn(to crypto.NodeID) (*peerConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, to)
+	}
+
+	c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v at %s: %w", to, addr, err)
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(t.id))
+	if _, err := c.Write(hello[:]); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("transport: hello to %v: %w", to, err)
+	}
+
+	pc := &peerConn{c: c}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost a dial race; use the winner.
+		t.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[to] = pc
+	t.mu.Unlock()
+
+	// Outbound connections also carry replies from the peer.
+	t.wg.Add(1)
+	go t.readLoop(to, pc)
+	return pc, nil
+}
+
+func (t *TCP) dropConn(id crypto.NodeID, pc *peerConn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[id]; ok && cur == pc {
+		delete(t.conns, id)
+	}
+	t.mu.Unlock()
+	_ = pc.c.Close()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.handleInbound(c)
+	}
+}
+
+func (t *TCP) handleInbound(c net.Conn) {
+	defer t.wg.Done()
+	var hello [4]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		_ = c.Close()
+		return
+	}
+	from := crypto.NodeID(binary.BigEndian.Uint32(hello[:]))
+
+	// Remember the inbound connection for replies if we have no outbound
+	// connection to this peer yet; data centers dial in and expect replies
+	// on the same connection.
+	pc := &peerConn{c: c}
+	t.mu.Lock()
+	if _, ok := t.conns[from]; !ok && !t.closed {
+		t.conns[from] = pc
+	}
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go t.readLoop(from, pc)
+}
+
+func (t *TCP) readLoop(from crypto.NodeID, pc *peerConn) {
+	defer t.wg.Done()
+	defer t.dropConn(from, pc)
+	for {
+		data, err := readFrame(pc.c)
+		if err != nil {
+			return
+		}
+		t.counters.AddReceived(len(data))
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(from, data)
+		}
+	}
+}
+
+// peerConn pairs a connection with a write lock: a large frame may take
+// several Write syscalls, so concurrent senders must be serialized or frames
+// would interleave on the stream.
+type peerConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+func (p *peerConn) writeFrame(data []byte) error {
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	_, err := p.c.Write(frame)
+	return err
+}
+
+func readFrame(c net.Conn) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(c, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

@@ -1,0 +1,48 @@
+// Package transport moves encoded protocol messages between ZugChain
+// participants over the secondary (non-safety-critical) link — the Ethernet
+// network of §III-A. Two implementations are provided:
+//
+//   - Network/Endpoint: an in-process simulated network with configurable
+//     latency, jitter, loss and partitions, plus per-node byte accounting.
+//     All evaluation scenarios run on it.
+//   - TCP: a real TCP transport with length-prefixed frames for multi-process
+//     deployments (cmd/zugchain, cmd/zc-datacenter).
+//
+// The transport is deliberately unauthenticated: every protocol message is
+// signed at the protocol layer, so transport-level tampering is equivalent to
+// a Byzantine peer and is handled there.
+package transport
+
+import (
+	"errors"
+
+	"zugchain/internal/crypto"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownPeer is returned when sending to an unregistered node.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// Handler consumes an inbound message. Implementations must not retain data
+// beyond the call unless they copy it. Handlers are invoked sequentially per
+// endpoint.
+type Handler func(from crypto.NodeID, data []byte)
+
+// Transport sends encoded messages to peers and delivers inbound messages to
+// a handler.
+type Transport interface {
+	// LocalID returns the ID this transport sends as.
+	LocalID() crypto.NodeID
+	// Send transmits data to a single peer. Delivery is best-effort:
+	// a nil error does not guarantee receipt (links may drop).
+	Send(to crypto.NodeID, data []byte) error
+	// Broadcast transmits data to every known peer except the local node.
+	Broadcast(data []byte) error
+	// SetHandler installs the inbound delivery callback. It must be called
+	// before any messages arrive.
+	SetHandler(h Handler)
+	// Close releases resources and stops delivery.
+	Close() error
+}

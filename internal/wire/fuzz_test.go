@@ -1,0 +1,37 @@
+package wire
+
+import "testing"
+
+// FuzzUnmarshal hardens the envelope decoder against hostile bytes: it must
+// never panic, and every successfully decoded message must re-encode.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Marshal(&testMsg{A: 7, B: []byte("seed")}))
+	f.Add([]byte{0xf0, 0xff})       // registered tag, empty body
+	f.Add([]byte{0x99, 0x99, 0x01}) // unknown tag
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must marshal back without panicking.
+		_ = Marshal(msg)
+	})
+}
+
+// FuzzDecoder drives the primitive decoder with arbitrary input.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		d.Uvarint()
+		d.Bytes()
+		_ = d.String()
+		d.Uint64()
+		d.Bytes32()
+		d.Float64()
+		if d.Err() == nil && d.Remaining() < 0 {
+			t.Fatal("negative remaining")
+		}
+	})
+}

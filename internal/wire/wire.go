@@ -1,0 +1,254 @@
+// Package wire implements the deterministic binary encoding used for all
+// ZugChain protocol messages.
+//
+// The encoding is deliberately simple: fixed-width little-endian integers,
+// unsigned varints for lengths, and length-prefixed byte strings. Two
+// properties matter and are guaranteed:
+//
+//   - Determinism: the same message always encodes to the same bytes, so
+//     Ed25519 signatures can be computed over encoded messages.
+//   - Self-description at the envelope level: a registered message carries a
+//     type tag so a single Unmarshal entry point can decode any protocol
+//     message received from the network.
+//
+// The paper's prototype exchanges Protobuf; this package is the stdlib-only
+// equivalent.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common encoding errors.
+var (
+	// ErrShortBuffer is returned when a decoder runs out of input bytes.
+	ErrShortBuffer = errors.New("wire: short buffer")
+	// ErrTooLarge is returned when a length prefix exceeds the decoder limit.
+	ErrTooLarge = errors.New("wire: length exceeds limit")
+	// ErrTrailingBytes is returned by Unmarshal when input remains after a
+	// complete message has been decoded.
+	ErrTrailingBytes = errors.New("wire: trailing bytes after message")
+)
+
+// MaxElementSize bounds any single length-prefixed element. It protects
+// decoders against maliciously large length prefixes from Byzantine peers.
+const MaxElementSize = 64 << 20 // 64 MiB
+
+// Encoder appends primitive values to an internal buffer.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Data returns the encoded buffer. The returned slice aliases the encoder's
+// internal storage; callers must not retain it across further writes.
+func (e *Encoder) Data() []byte { return e.buf }
+
+// Len reports the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards all encoded data, retaining the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Byte appends a single byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean as one byte (0 or 1).
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+		return
+	}
+	e.Byte(0)
+}
+
+// Uint16 appends a fixed-width little-endian uint16.
+func (e *Encoder) Uint16(v uint16) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+}
+
+// Uint32 appends a fixed-width little-endian uint32.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// Uint64 appends a fixed-width little-endian uint64.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 appends a fixed-width little-endian int64.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Float64 appends an IEEE-754 double in little-endian byte order.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Bytes32 appends a fixed 32-byte array without a length prefix.
+func (e *Encoder) Bytes32(v [32]byte) { e.buf = append(e.buf, v[:]...) }
+
+// Bytes appends a length-prefixed byte string.
+func (e *Encoder) Bytes(v []byte) {
+	e.Uvarint(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(v string) {
+	e.Uvarint(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Decoder reads primitive values from a byte slice. Errors are sticky: after
+// the first failure all further reads return zero values and Err reports the
+// original error. This lets message decoders chain reads and check once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over buf. The decoder does not copy buf;
+// decoded byte strings alias it unless otherwise documented.
+func NewDecoder(buf []byte) *Decoder {
+	return &Decoder{buf: buf}
+}
+
+// Err returns the first error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the number of bytes left to decode.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// fail records the first error.
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// take returns the next n bytes or records ErrShortBuffer.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Byte reads a single byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean encoded as one byte. Any nonzero byte is true.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Uint16 reads a fixed-width little-endian uint16.
+func (d *Decoder) Uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// Uint32 reads a fixed-width little-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Uint64 reads a fixed-width little-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int64 reads a fixed-width little-endian int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Bytes32 reads a fixed 32-byte array.
+func (d *Decoder) Bytes32() (v [32]byte) {
+	b := d.take(32)
+	if b != nil {
+		copy(v[:], b)
+	}
+	return v
+}
+
+// Bytes reads a length-prefixed byte string. The result aliases the input
+// buffer. A nil slice is returned for zero-length strings.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if n > MaxElementSize {
+		d.fail(fmt.Errorf("%w: %d bytes", ErrTooLarge, n))
+		return nil
+	}
+	b := d.take(int(n))
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+// BytesCopy reads a length-prefixed byte string into freshly allocated
+// storage, safe to retain after the input buffer is reused.
+func (d *Decoder) BytesCopy() []byte {
+	b := d.Bytes()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	return string(d.Bytes())
+}

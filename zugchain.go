@@ -1,0 +1,217 @@
+// Package zugchain is a Go implementation of ZugChain (DSN 2022): a
+// blockchain-based juridical data recorder for railway systems. It replaces
+// the train's centralized juridical recording unit (JRU) with software
+// replicated across on-board commodity nodes:
+//
+//   - every node reads the vehicle bus (MVB) independently;
+//   - the ZugChain communication layer deduplicates the observed input by
+//     payload and feeds it to a PBFT ordering core, tolerating f Byzantine
+//     nodes out of n >= 3f+1;
+//   - ordered records are bundled into a hash-chained blockchain backed by
+//     2f+1-signed PBFT checkpoints, so even a single surviving node's log
+//     is tamper-evident;
+//   - a decoupled export protocol ships blocks to the railway companies'
+//     data centers over the train's uplink and authorizes safe pruning.
+//
+// This package re-exports the library's public surface. The heavy lifting
+// lives in the internal packages; see DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+//
+// # Quickstart
+//
+// Build a four-node cluster on an in-process network, feed it a simulated
+// bus, and read back the chain:
+//
+//	ids := []zugchain.NodeID{0, 1, 2, 3}
+//	net := zugchain.NewSimNetwork()
+//	var keys []*zugchain.KeyPair
+//	for _, id := range ids {
+//		keys = append(keys, zugchain.MustGenerateKeyPair(id))
+//	}
+//	registry := zugchain.NewRegistry(keys...)
+//	for i, id := range ids {
+//		n, _ := zugchain.NewNode(zugchain.NodeConfig{ID: id, Replicas: ids},
+//			keys[i], registry, net.Endpoint(id), zugchain.RealClock())
+//		n.Start()
+//		// wire n.RunBus / n.HandleFrame to an mvb reader ...
+//	}
+//
+// See examples/ for complete programs.
+package zugchain
+
+import (
+	"zugchain/internal/blockchain"
+	"zugchain/internal/clock"
+	"zugchain/internal/core"
+	"zugchain/internal/crypto"
+	"zugchain/internal/export"
+	"zugchain/internal/mvb"
+	"zugchain/internal/netsim"
+	"zugchain/internal/node"
+	"zugchain/internal/pbft"
+	"zugchain/internal/signal"
+	"zugchain/internal/transport"
+)
+
+// Identity and cryptography.
+type (
+	// NodeID identifies a replica or data center.
+	NodeID = crypto.NodeID
+	// KeyPair is a participant's Ed25519 identity.
+	KeyPair = crypto.KeyPair
+	// Registry maps node IDs to public keys.
+	Registry = crypto.Registry
+	// Digest is a SHA-256 hash.
+	Digest = crypto.Digest
+)
+
+// DataCenterIDBase is the first NodeID reserved for data centers.
+const DataCenterIDBase = crypto.DataCenterIDBase
+
+// GenerateKeyPair creates a fresh identity; MustGenerateKeyPair panics on
+// failure (setup code only).
+var (
+	GenerateKeyPair     = crypto.GenerateKeyPair
+	MustGenerateKeyPair = crypto.MustGenerateKeyPair
+	NewRegistry         = crypto.NewRegistry
+)
+
+// Replica node.
+type (
+	// NodeConfig parameterizes a ZugChain replica.
+	NodeConfig = node.Config
+	// Node is one assembled ZugChain replica.
+	Node = node.Node
+)
+
+// NewNode assembles a replica on a transport.
+var NewNode = node.New
+
+// Blockchain.
+type (
+	// Block is one sealed bundle of ordered juridical records.
+	Block = blockchain.Block
+	// BlockEntry is one totally ordered request inside a block.
+	BlockEntry = blockchain.Entry
+	// ChainStore holds a node's (or archive's) chain.
+	ChainStore = blockchain.Store
+)
+
+// BlockBuilder accumulates ordered entries into blocks.
+type BlockBuilder = blockchain.Builder
+
+// NewChainStore opens a chain store ("" = memory only).
+var (
+	NewChainStore   = blockchain.NewStore
+	NewBlockBuilder = blockchain.NewBuilder
+	GenesisBlock    = blockchain.Genesis
+	VerifySegment   = blockchain.VerifySegment
+)
+
+// Bus and signals.
+type (
+	// Bus is the simulated Multifunction Vehicle Bus.
+	Bus = mvb.Bus
+	// BusConfig parameterizes the bus.
+	BusConfig = mvb.Config
+	// BusReader is one node's attachment to the bus.
+	BusReader = mvb.Reader
+	// BusFaultConfig injects per-reader bus faults.
+	BusFaultConfig = mvb.FaultConfig
+	// Frame is one bus cycle's transmission.
+	Frame = mvb.Frame
+	// Signal is one parsed juridical value.
+	Signal = signal.Signal
+	// SignalRecord is one cycle's consolidated signals.
+	SignalRecord = signal.Record
+	// SignalGenerator produces an ATP-style drive workload.
+	SignalGenerator = signal.Generator
+	// GeneratorConfig parameterizes the workload generator.
+	GeneratorConfig = signal.GeneratorConfig
+)
+
+// NewBus creates a simulated MVB; NewSignalGenerator the ATP workload.
+var (
+	NewBus                 = mvb.NewBus
+	NewSignalDevice        = mvb.NewSignalDevice
+	NewSignalGenerator     = signal.NewGenerator
+	DefaultGeneratorConfig = signal.DefaultGeneratorConfig
+	ParseFrame             = mvb.ParseFrame
+	UnmarshalRecord        = signal.UnmarshalRecord
+)
+
+// Transport.
+type (
+	// Transport moves protocol messages between participants.
+	Transport = transport.Transport
+	// SimNetwork is the in-process network with fault injection.
+	SimNetwork = transport.Network
+	// LinkConfig shapes one simulated link.
+	LinkConfig = transport.LinkConfig
+	// TCPTransport is the real-network transport.
+	TCPTransport = transport.TCP
+)
+
+// NewSimNetwork creates an in-process network; NewTCPTransport a TCP one.
+var (
+	NewSimNetwork   = transport.NewNetwork
+	NewTCPTransport = transport.NewTCP
+)
+
+// Export.
+type (
+	// DataCenter is a railway company's export/archive endpoint.
+	DataCenter = export.DataCenter
+	// DataCenterConfig parameterizes it.
+	DataCenterConfig = export.DataCenterConfig
+	// DataCenterGroup orchestrates a full export round across companies.
+	DataCenterGroup = export.Group
+	// ExportReport summarizes one export round.
+	ExportReport = export.ExportReport
+	// LinkProfile shapes the train's uplink.
+	LinkProfile = netsim.LinkProfile
+)
+
+// NewDataCenter creates an export client; LTEUplink is the paper's profile.
+var (
+	NewDataCenter = export.NewDataCenter
+	NewShapedLink = netsim.NewShaped
+	LTEUplink     = netsim.LTE
+)
+
+// Consensus building blocks, exported for advanced integrations that embed
+// the ordering core directly.
+type (
+	// PBFTConfig parameterizes the ordering engine.
+	PBFTConfig = pbft.Config
+	// PBFTEngine is the pure PBFT state machine.
+	PBFTEngine = pbft.Engine
+	// Request is the unit of agreement.
+	Request = pbft.Request
+	// CheckpointProof is a 2f+1-signed stable checkpoint.
+	CheckpointProof = pbft.CheckpointProof
+	// LayerConfig parameterizes the communication layer.
+	LayerConfig = core.Config
+	// Layer is the bus-facing communication layer (Algorithm 1).
+	Layer = core.Layer
+)
+
+// NewPBFTEngine and NewLayer construct the cores directly.
+var (
+	NewPBFTEngine = pbft.NewEngine
+	NewLayer      = core.New
+)
+
+// Clocks.
+type (
+	// Clock abstracts time for deterministic tests.
+	Clock = clock.Clock
+	// FakeClock is a manually advanced clock.
+	FakeClock = clock.Fake
+)
+
+// RealClock returns the wall-clock implementation.
+func RealClock() Clock { return clock.Real{} }
+
+// NewFakeClock returns a manually advanced clock for tests.
+var NewFakeClock = clock.NewFake

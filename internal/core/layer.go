@@ -68,6 +68,12 @@ type Config struct {
 	// eviction is driven purely by decided sequence numbers, keeping the
 	// dedup decision — and therefore the blockchain — deterministic.
 	WindowSeqs uint64
+	// VerifyPool, when non-nil, offloads peer-request signature checks
+	// (Algorithm 1 line 25) onto the pool's workers instead of the
+	// transport delivery goroutine. Admission into the request queue R —
+	// and every decision under the layer mutex — happens strictly after
+	// verification either way.
+	VerifyPool *crypto.VerifyPool
 }
 
 func (c *Config) applyDefaults() {
@@ -282,7 +288,11 @@ func (l *Layer) OnNewPrimary(view uint64, primary crypto.NodeID) {
 }
 
 // onTransport handles ZCRequest messages from peers: broadcasts after soft
-// timeouts and forwards toward the primary. Algorithm 1 lines 25–32.
+// timeouts and forwards toward the primary. Algorithm 1 lines 25–32. The
+// Ed25519 check runs on the verify pool when one is configured, so a flood
+// of peer requests parallelizes across cores instead of serializing the
+// transport delivery goroutine; the rest of the admission logic runs after
+// verification in either case.
 func (l *Layer) onTransport(from crypto.NodeID, data []byte) {
 	msg, err := wire.Unmarshal(data)
 	if err != nil {
@@ -293,9 +303,22 @@ func (l *Layer) onTransport(from crypto.NodeID, data []byte) {
 		return
 	}
 	req := zc.Req
-	if err := pbft.VerifyRequest(&req, l.reg); err != nil {
-		return // unauthenticated peer request
+	verifyAndAdmit := func() {
+		if err := pbft.VerifyRequest(&req, l.reg); err != nil {
+			return // unauthenticated peer request
+		}
+		l.admitPeerRequest(req)
 	}
+	if l.cfg.VerifyPool != nil {
+		l.cfg.VerifyPool.Submit(verifyAndAdmit)
+		return
+	}
+	verifyAndAdmit()
+}
+
+// admitPeerRequest continues Algorithm 1 lines 25–32 for a peer request
+// whose signature has been verified.
+func (l *Layer) admitPeerRequest(req pbft.Request) {
 	digest := req.PayloadDigest()
 
 	l.mu.Lock()

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a participant: a ZugChain replica or a data center.
@@ -40,7 +41,7 @@ type Digest [32]byte
 // Hash returns the SHA-256 digest of data.
 func Hash(data []byte) Digest { return sha256.Sum256(data) }
 
-// ZeroDigest reports whether d is the all-zero digest.
+// IsZero reports whether d is the all-zero digest.
 func (d Digest) IsZero() bool { return d == Digest{} }
 
 // Short returns an 8-hex-character prefix for logs.
@@ -102,41 +103,58 @@ func (k *KeyPair) Sign(msg []byte) []byte {
 // In a deployment it corresponds to the key material distributed to all
 // participants at train commissioning (§III-B: "all nodes are equipped with
 // a public-private key pair").
+//
+// Reads are lock-free: the key set is an immutable snapshot swapped
+// atomically by Add (copy-on-write). Verify sits on the consensus hot path
+// and runs concurrently on the verification pool's workers; keys change only
+// at setup, so writes may pay for the copy.
 type Registry struct {
-	mu   sync.RWMutex
-	keys map[NodeID]ed25519.PublicKey
+	mu   sync.Mutex // serializes writers (Add); readers never take it
+	keys atomic.Pointer[map[NodeID]ed25519.PublicKey]
 }
 
 // NewRegistry builds a registry from the given key pairs' public halves.
 func NewRegistry(pairs ...*KeyPair) *Registry {
-	r := &Registry{keys: make(map[NodeID]ed25519.PublicKey, len(pairs))}
+	keys := make(map[NodeID]ed25519.PublicKey, len(pairs))
 	for _, kp := range pairs {
-		r.keys[kp.ID] = kp.Public
+		keys[kp.ID] = kp.Public
 	}
+	r := &Registry{}
+	r.keys.Store(&keys)
 	return r
 }
 
-// Add registers a public key, e.g. a data center key learned at setup.
+// snapshot returns the current immutable key set. Callers must not mutate it.
+func (r *Registry) snapshot() map[NodeID]ed25519.PublicKey {
+	return *r.keys.Load()
+}
+
+// Add registers a public key, e.g. a data center key learned at setup. The
+// key set is copied so concurrent Verify calls keep reading a consistent
+// snapshot without locking.
 func (r *Registry) Add(id NodeID, pub ed25519.PublicKey) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.keys[id] = pub
+	old := r.snapshot()
+	keys := make(map[NodeID]ed25519.PublicKey, len(old)+1)
+	for k, v := range old {
+		keys[k] = v
+	}
+	keys[id] = pub
+	r.keys.Store(&keys)
 }
 
 // PublicKey returns the key for id, if known.
 func (r *Registry) PublicKey(id NodeID) (ed25519.PublicKey, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	pub, ok := r.keys[id]
+	pub, ok := r.snapshot()[id]
 	return pub, ok
 }
 
 // IDs returns all registered node IDs in ascending order.
 func (r *Registry) IDs() []NodeID {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	ids := make([]NodeID, 0, len(r.keys))
-	for id := range r.keys {
+	keys := r.snapshot()
+	ids := make([]NodeID, 0, len(keys))
+	for id := range keys {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -145,9 +163,7 @@ func (r *Registry) IDs() []NodeID {
 
 // Len reports the number of registered keys.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.keys)
+	return len(r.snapshot())
 }
 
 // Verify checks that sig is a valid signature by id over msg.

@@ -112,6 +112,87 @@ func (s CounterSnapshot) CPUWorkUnits() float64 {
 		byteCost*float64(s.BytesSent+s.BytesReceived)
 }
 
+// PoolCounters instruments an asynchronous worker pool (the signature
+// verification pipeline): how many tasks ran on pool workers versus inline on
+// the submitting goroutine, the current and peak queue depth, and
+// submit-to-completion task latency. Unlike Latency it keeps O(1) state
+// (sum/count/max) so it can sit on the verification hot path without
+// accumulating samples. All methods are safe for concurrent use; the zero
+// value is ready to use.
+type PoolCounters struct {
+	offloaded atomic.Uint64
+	inline    atomic.Uint64
+	depth     atomic.Int64
+	peak      atomic.Int64
+	latSumNs  atomic.Int64
+	latCount  atomic.Uint64
+	latMaxNs  atomic.Int64
+}
+
+// AddOffloaded records one task executed by a pool worker.
+func (p *PoolCounters) AddOffloaded() { p.offloaded.Add(1) }
+
+// AddInline records one task executed on the submitter (fast path or
+// backpressure).
+func (p *PoolCounters) AddInline() { p.inline.Add(1) }
+
+// Enqueued records a task entering the queue, tracking the peak depth.
+func (p *PoolCounters) Enqueued() {
+	d := p.depth.Add(1)
+	for {
+		cur := p.peak.Load()
+		if d <= cur || p.peak.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Dequeued records a task leaving the queue.
+func (p *PoolCounters) Dequeued() { p.depth.Add(-1) }
+
+// RecordTask records one task's submit-to-completion latency.
+func (p *PoolCounters) RecordTask(d time.Duration) {
+	ns := int64(d)
+	p.latSumNs.Add(ns)
+	p.latCount.Add(1)
+	for {
+		cur := p.latMaxNs.Load()
+		if ns <= cur || p.latMaxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// PoolSnapshot is a point-in-time copy of PoolCounters.
+type PoolSnapshot struct {
+	// Offloaded and Inline count completed tasks by where they executed.
+	Offloaded uint64
+	Inline    uint64
+	// QueueDepth is the instantaneous queue backlog; QueuePeak its maximum.
+	QueueDepth int64
+	QueuePeak  int64
+	// Tasks latency statistics over all recorded tasks.
+	TaskCount uint64
+	TaskMean  time.Duration
+	TaskMax   time.Duration
+}
+
+// Snapshot returns the current pool counter values.
+func (p *PoolCounters) Snapshot() PoolSnapshot {
+	s := PoolSnapshot{
+		Offloaded:  p.offloaded.Load(),
+		Inline:     p.inline.Load(),
+		QueueDepth: p.depth.Load(),
+		QueuePeak:  p.peak.Load(),
+		TaskCount:  p.latCount.Load(),
+		TaskMax:    time.Duration(p.latMaxNs.Load()),
+	}
+	if s.TaskCount > 0 {
+		s.TaskMean = time.Duration(p.latSumNs.Load() / int64(s.TaskCount))
+	}
+	return s
+}
+
 // Latency accumulates duration samples and reports distribution statistics.
 // It is safe for concurrent use.
 type Latency struct {

@@ -160,3 +160,63 @@ func TestSampleMemory(t *testing.T) {
 		t.Errorf("memory sample = %+v, want nonzero alloc", s)
 	}
 }
+
+func TestPoolCountersSnapshot(t *testing.T) {
+	var p PoolCounters
+	p.Enqueued()
+	p.Enqueued()
+	p.Enqueued()
+	p.Dequeued()
+	p.AddOffloaded()
+	p.AddInline()
+	p.RecordTask(10 * time.Millisecond)
+	p.RecordTask(30 * time.Millisecond)
+
+	s := p.Snapshot()
+	if s.Offloaded != 1 || s.Inline != 1 {
+		t.Errorf("offloaded = %d, inline = %d, want 1/1", s.Offloaded, s.Inline)
+	}
+	if s.QueueDepth != 2 {
+		t.Errorf("queue depth = %d, want 2", s.QueueDepth)
+	}
+	if s.QueuePeak != 3 {
+		t.Errorf("queue peak = %d, want 3", s.QueuePeak)
+	}
+	if s.TaskCount != 2 {
+		t.Errorf("task count = %d, want 2", s.TaskCount)
+	}
+	if s.TaskMean != 20*time.Millisecond {
+		t.Errorf("task mean = %v, want 20ms", s.TaskMean)
+	}
+	if s.TaskMax != 30*time.Millisecond {
+		t.Errorf("task max = %v, want 30ms", s.TaskMax)
+	}
+}
+
+func TestPoolCountersConcurrent(t *testing.T) {
+	var p PoolCounters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Enqueued()
+				p.Dequeued()
+				p.AddOffloaded()
+				p.RecordTask(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	if s.Offloaded != 8000 || s.TaskCount != 8000 {
+		t.Errorf("offloaded = %d, tasks = %d, want 8000/8000", s.Offloaded, s.TaskCount)
+	}
+	if s.QueueDepth != 0 {
+		t.Errorf("final queue depth = %d, want 0", s.QueueDepth)
+	}
+	if s.QueuePeak < 1 {
+		t.Errorf("queue peak = %d, want >= 1", s.QueuePeak)
+	}
+}

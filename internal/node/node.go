@@ -88,6 +88,7 @@ type Node struct {
 	clk clock.Clock
 
 	mux    *transport.Mux
+	pool   *crypto.VerifyPool
 	runner *pbft.Runner
 	layer  *core.Layer
 	store  *blockchain.Store
@@ -133,8 +134,14 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 	if err != nil {
 		return nil, err
 	}
+	// One verification pipeline per node, shared by the PBFT runner and
+	// the communication layer: all inbound Ed25519 checks run on its
+	// workers, keeping both the consensus event loop and the transport
+	// delivery goroutines free of crypto (Fig 7's dominant CPU cost).
+	n.pool = crypto.NewVerifyPool(0)
 	n.runner = pbft.NewRunner(engine, pbftChan, clk, (*pbftApp)(n), pbft.RunnerConfig{
 		BaseViewTimeout: cfg.ViewTimeout,
+		VerifyPool:      n.pool,
 	})
 
 	n.layer = core.New(core.Config{
@@ -143,6 +150,7 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 		HardTimeout:      cfg.HardTimeout,
 		MaxOpenPerOrigin: cfg.MaxOpenPerOrigin,
 		WindowSeqs:       cfg.WindowSeqs,
+		VerifyPool:       n.pool,
 	}, kp, reg, n.runner, coreChan, clk, (*chainRecorder)(n))
 
 	n.srv = export.NewServer(export.ServerConfig{
@@ -159,11 +167,14 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 // Start launches the consensus runner.
 func (n *Node) Start() { n.runner.Start() }
 
-// Stop shuts down the node.
+// Stop shuts down the node. The verify pool closes last: in-flight
+// verification tasks may still try to enqueue into the runner or layer,
+// whose closed-checks make that a safe no-op.
 func (n *Node) Stop() {
 	n.stopped.Do(func() {
 		n.layer.Close()
 		n.runner.Stop()
+		n.pool.Close()
 		n.busWG.Wait()
 	})
 }
@@ -176,6 +187,10 @@ func (n *Node) Layer() *core.Layer { return n.layer }
 
 // Runner exposes the PBFT runner.
 func (n *Node) Runner() *pbft.Runner { return n.runner }
+
+// VerifyPool exposes the node's signature-verification pipeline (stats,
+// inspection).
+func (n *Node) VerifyPool() *crypto.VerifyPool { return n.pool }
 
 // ExportServer exposes the export server.
 func (n *Node) ExportServer() *export.Server { return n.srv }

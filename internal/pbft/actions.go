@@ -14,15 +14,23 @@ type Action interface {
 	isAction()
 }
 
-// SendAction transmits a signed message to one replica.
+// SendAction transmits a signed message to one replica. Encoded, when
+// non-nil, is the message's ready-made wire encoding (see BroadcastAction).
 type SendAction struct {
-	To  crypto.NodeID
-	Msg wire.Message
+	To      crypto.NodeID
+	Msg     wire.Message
+	Encoded []byte
 }
 
 // BroadcastAction transmits a signed message to all other replicas.
+// Encoded, when non-nil, carries the cached wire encoding produced while
+// signing (signedBroadcast): the signing bytes are the full encoding minus
+// the signature tail, so the engine gets the broadcast bytes for free and
+// the runner skips re-marshalling. Msg must not be mutated after the action
+// is emitted or the cache would go stale.
 type BroadcastAction struct {
-	Msg wire.Message
+	Msg     wire.Message
+	Encoded []byte
 }
 
 // DeliverAction is the DECIDE up-call of Table I: the request was totally

@@ -175,8 +175,7 @@ func (e *Engine) proposeNow(req Request) []Action {
 		Req:     req,
 		Replica: e.cfg.ID,
 	}
-	sign(pp, e.kp)
-	actions := []Action{BroadcastAction{Msg: pp}}
+	actions := []Action{signedBroadcast(pp, e.kp)}
 	actions = append(actions, e.acceptPrePrepare(pp)...)
 	return actions
 }
@@ -210,10 +209,25 @@ func (e *Engine) Suspect(id crypto.NodeID) []Action {
 	return e.startViewChange(e.view+1, false)
 }
 
-// Receive processes one signed protocol message from the transport.
-// Malformed or unverifiable messages are dropped (Byzantine senders gain
-// nothing by sending garbage).
+// Receive processes one signed protocol message from the transport,
+// verifying its signature inline. Malformed or unverifiable messages are
+// dropped (Byzantine senders gain nothing by sending garbage).
 func (e *Engine) Receive(from crypto.NodeID, msg wire.Message) []Action {
+	return e.receive(from, msg, false)
+}
+
+// ReceiveVerified processes a message whose expensive signature checks —
+// the envelope signature and, for preprepares, the embedded request
+// signature (see preVerify) — were already performed off the event loop by
+// the runner's verification pipeline. The engine still enforces the cheap
+// structural checks (sender == signer, views, watermarks) itself, so its
+// single-threaded contract and drop semantics are unchanged; only the
+// Ed25519 work moved.
+func (e *Engine) ReceiveVerified(from crypto.NodeID, msg wire.Message) []Action {
+	return e.receive(from, msg, true)
+}
+
+func (e *Engine) receive(from crypto.NodeID, msg wire.Message, preVerified bool) []Action {
 	s, ok := msg.(signable)
 	if !ok {
 		return nil
@@ -223,12 +237,14 @@ func (e *Engine) Receive(from crypto.NodeID, msg wire.Message) []Action {
 	if s.signer() != from {
 		return nil
 	}
-	if err := verify(s, e.reg); err != nil {
-		return nil
+	if !preVerified {
+		if err := verify(s, e.reg); err != nil {
+			return nil
+		}
 	}
 	switch m := msg.(type) {
 	case *PrePrepare:
-		return e.onPrePrepare(m)
+		return e.onPrePrepare(m, preVerified)
 	case *Prepare:
 		return e.onPrepare(m)
 	case *Commit:
@@ -262,15 +278,17 @@ func (e *Engine) getInstance(seq uint64) *instance {
 	return inst
 }
 
-func (e *Engine) onPrePrepare(pp *PrePrepare) []Action {
+func (e *Engine) onPrePrepare(pp *PrePrepare, reqVerified bool) []Action {
 	if e.inViewChange || pp.View != e.view || pp.Replica != e.primaryOf(pp.View) {
 		return nil
 	}
 	if !e.inWatermarks(pp.Seq) {
 		return nil
 	}
-	if err := VerifyRequest(&pp.Req, e.reg); err != nil {
-		return nil
+	if !reqVerified {
+		if err := VerifyRequest(&pp.Req, e.reg); err != nil {
+			return nil
+		}
 	}
 	return e.acceptPrePrepare(pp)
 }
@@ -303,9 +321,9 @@ func (e *Engine) acceptPrePrepare(pp *PrePrepare) []Action {
 			Digest:  digest,
 			Replica: e.cfg.ID,
 		}
-		sign(p, e.kp)
+		bc := signedBroadcast(p, e.kp)
 		inst.prepares[e.cfg.ID] = p
-		actions = append(actions, BroadcastAction{Msg: p})
+		actions = append(actions, bc)
 	}
 	actions = append(actions, e.checkProgress(inst)...)
 	return actions
@@ -365,9 +383,9 @@ func (e *Engine) checkProgress(inst *instance) []Action {
 			Digest:  inst.digest,
 			Replica: e.cfg.ID,
 		}
-		sign(c, e.kp)
+		bc := signedBroadcast(c, e.kp)
 		inst.commits[e.cfg.ID] = c
-		actions = append(actions, BroadcastAction{Msg: c})
+		actions = append(actions, bc)
 	}
 
 	if inst.prepared && !inst.committed {
@@ -420,8 +438,7 @@ func (e *Engine) Checkpoint(seq uint64, digest crypto.Digest) []Action {
 		StateDigest: digest,
 		Replica:     e.cfg.ID,
 	}
-	sign(c, e.kp)
-	actions := []Action{BroadcastAction{Msg: c}}
+	actions := []Action{signedBroadcast(c, e.kp)}
 	actions = append(actions, e.addCheckpoint(c)...)
 	return actions
 }

@@ -40,6 +40,12 @@ type RunnerConfig struct {
 	// BaseViewTimeout is the view-change progress timeout; it doubles per
 	// escalation attempt (capped at 10 doublings).
 	BaseViewTimeout time.Duration
+	// VerifyPool, when non-nil, runs inbound signature checks on the
+	// pool's workers so the event loop only ever sees pre-verified
+	// messages (Engine.ReceiveVerified). With a nil pool verification
+	// happens on the transport's delivery goroutine — still off the event
+	// loop, just without cross-message parallelism.
+	VerifyPool *crypto.VerifyPool
 }
 
 // Runner owns an Engine and pumps it: inbound transport messages, local
@@ -132,13 +138,37 @@ func (r *Runner) Inspect(f func(e *Engine)) {
 	}
 }
 
-// onMessage is the transport handler: decode and enqueue.
+// onMessage is the transport handler: decode, verify off-loop, then
+// enqueue. The engine's event loop never pays for Ed25519 — by the time a
+// message reaches Engine.ReceiveVerified its envelope signature (and, for
+// preprepares, the embedded request signature) has been checked on a pool
+// worker or, without a pool, on this delivery goroutine. Dropping garbage
+// here also means Byzantine flooding burns pool workers, not the ordering
+// path. Pool tasks may complete in any order; PBFT tolerates reordered
+// delivery, so no resequencing is needed (see DESIGN.md).
 func (r *Runner) onMessage(from crypto.NodeID, data []byte) {
 	msg, err := wire.Unmarshal(data)
 	if err != nil {
 		return // garbage from a Byzantine or broken peer
 	}
-	r.enqueue(func() []Action { return r.engine.Receive(from, msg) })
+	s, ok := msg.(signable)
+	if !ok {
+		return
+	}
+	if s.signer() != from {
+		return // cheap reject before paying for a signature check
+	}
+	check := func() {
+		if preVerify(s, r.engine.reg) != nil {
+			return // forged or corrupted; drop without waking the loop
+		}
+		r.enqueue(func() []Action { return r.engine.ReceiveVerified(from, msg) })
+	}
+	if r.cfg.VerifyPool != nil {
+		r.cfg.VerifyPool.Submit(check)
+		return
+	}
+	check()
 }
 
 // enqueue appends work to the unbounded mailbox. Unbounded is deliberate:
@@ -195,15 +225,24 @@ func (r *Runner) loop() {
 	}
 }
 
+// encodeAction returns the wire bytes for an outbound action, preferring the
+// encoding cached at signing time (signedBroadcast) over a re-marshal.
+func encodeAction(msg wire.Message, cached []byte) []byte {
+	if cached != nil {
+		return cached
+	}
+	return wire.Marshal(msg)
+}
+
 // execute performs the engine's actions, feeding results of application
 // callbacks straight back into the engine.
 func (r *Runner) execute(actions []Action) {
 	for _, a := range actions {
 		switch act := a.(type) {
 		case SendAction:
-			_ = r.tr.Send(act.To, wire.Marshal(act.Msg))
+			_ = r.tr.Send(act.To, encodeAction(act.Msg, act.Encoded))
 		case BroadcastAction:
-			_ = r.tr.Broadcast(wire.Marshal(act.Msg))
+			_ = r.tr.Broadcast(encodeAction(act.Msg, act.Encoded))
 		case DeliverAction:
 			r.app.Deliver(act.Seq, act.Req)
 		case CheckpointNeededAction:

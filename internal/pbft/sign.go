@@ -2,6 +2,7 @@ package pbft
 
 import (
 	"fmt"
+	"sync"
 
 	"zugchain/internal/crypto"
 	"zugchain/internal/wire"
@@ -9,6 +10,13 @@ import (
 
 // signable is implemented by every PBFT message: the signature covers the
 // wire encoding with the Sig field emptied.
+//
+// Encoding invariant: Sig MUST be the final field of every signable's wire
+// encoding (written with Encoder.Bytes). signingBytesInto relies on it to
+// derive the signing bytes from a full encoding by rewriting the signature
+// tail in place, and signedBroadcast relies on it to derive the broadcast
+// encoding from the signing bytes. TestSigningBytesMatchesReference guards
+// the invariant for every message type.
 type signable interface {
 	wire.Message
 	signer() crypto.NodeID
@@ -40,28 +48,104 @@ func (m *NewView) signer() crypto.NodeID   { return m.Replica }
 func (m *NewView) signature() []byte       { return m.Sig }
 func (m *NewView) setSignature(sig []byte) { m.Sig = sig }
 
-// signingBytes encodes m with an empty signature field.
-func signingBytes(m signable) []byte {
-	saved := m.signature()
-	m.setSignature(nil)
-	e := wire.NewEncoder(256)
+// encoders pools wire encoders for the signing/verification hot path, so
+// steady-state signing-bytes computation allocates nothing.
+var encoders = sync.Pool{
+	New: func() any { return wire.NewEncoder(512) },
+}
+
+// uvarintLen returns the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// signingBytesInto encodes m's signing bytes (the enveloped wire encoding
+// with an empty Sig) into e, which is reset first, and returns the encoded
+// slice. The result aliases e's buffer: callers must not retain it past the
+// next use of e.
+//
+// Unlike a clear-and-restore implementation this never mutates m: because
+// Sig is the final encoded field (see the signable invariant), the signing
+// bytes are the full encoding with the signature tail replaced by a zero
+// length prefix. That makes concurrent verification of the same message —
+// as the VerifyPool's workers do — race-free.
+func signingBytesInto(e *wire.Encoder, m signable) []byte {
+	e.Reset()
 	e.Uint16(uint16(m.WireType()))
 	m.EncodeWire(e)
-	m.setSignature(saved)
-	out := make([]byte, e.Len())
-	copy(out, e.Data())
+	if sig := m.signature(); len(sig) > 0 {
+		e.Truncate(e.Len() - len(sig) - uvarintLen(uint64(len(sig))))
+		e.Uvarint(0)
+	}
+	return e.Data()
+}
+
+// signingBytes returns an owned copy of m's signing bytes. Hot paths use
+// signingBytesInto with a pooled encoder instead; this helper remains for
+// tests and callers that need to retain the slice.
+func signingBytes(m signable) []byte {
+	e := encoders.Get().(*wire.Encoder)
+	b := signingBytesInto(e, m)
+	out := make([]byte, len(b))
+	copy(out, b)
+	encoders.Put(e)
 	return out
 }
 
 // sign fills in the message signature using kp, which must belong to the
 // message's declared sender.
 func sign(m signable, kp *crypto.KeyPair) {
-	m.setSignature(kp.Sign(signingBytes(m)))
+	e := encoders.Get().(*wire.Encoder)
+	m.setSignature(kp.Sign(signingBytesInto(e, m)))
+	encoders.Put(e)
 }
 
-// verify checks the message signature against the registry.
+// signedBroadcast signs m and returns a BroadcastAction carrying the cached
+// wire encoding: after signing, the encoder already holds m's encoding with
+// an empty signature tail, so appending the fresh signature yields the exact
+// bytes wire.Marshal would produce — without encoding the message a second
+// (or, counting the runner's marshal, third) time.
+func signedBroadcast(m signable, kp *crypto.KeyPair) BroadcastAction {
+	e := encoders.Get().(*wire.Encoder)
+	sig := kp.Sign(signingBytesInto(e, m))
+	m.setSignature(sig)
+	e.Truncate(e.Len() - 1) // drop the empty-signature length byte
+	e.Bytes(sig)
+	enc := make([]byte, e.Len())
+	copy(enc, e.Data())
+	encoders.Put(e)
+	return BroadcastAction{Msg: m, Encoded: enc}
+}
+
+// verify checks the message signature against the registry. Safe to call
+// concurrently for the same message: the signing bytes are computed without
+// mutating m.
 func verify(m signable, reg *crypto.Registry) error {
-	return reg.Verify(m.signer(), signingBytes(m), m.signature())
+	e := encoders.Get().(*wire.Encoder)
+	err := reg.Verify(m.signer(), signingBytesInto(e, m), m.signature())
+	encoders.Put(e)
+	return err
+}
+
+// preVerify performs the expensive Ed25519 checks for an inbound message
+// without touching engine state: the envelope signature plus, for
+// preprepares, the embedded request signature. It is what the runner runs on
+// the VerifyPool's workers; Engine.ReceiveVerified then skips exactly these
+// checks. Callers must own m (no concurrent mutation), but m itself is never
+// mutated here.
+func preVerify(m signable, reg *crypto.Registry) error {
+	if err := verify(m, reg); err != nil {
+		return err
+	}
+	if pp, ok := m.(*PrePrepare); ok {
+		return VerifyRequest(&pp.Req, reg)
+	}
+	return nil
 }
 
 // verifyCheckpointSet validates a set of checkpoint messages as a stable

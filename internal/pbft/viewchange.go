@@ -29,11 +29,11 @@ func (e *Engine) startViewChange(target uint64, escalation bool) []Action {
 		Prepared:   e.preparedProofs(),
 		Replica:    e.cfg.ID,
 	}
-	sign(vc, e.kp)
+	bc := signedBroadcast(vc, e.kp)
 	e.storeViewChange(vc)
 
 	actions := []Action{
-		BroadcastAction{Msg: vc},
+		bc,
 		StartViewTimerAction{View: target, Attempt: e.vcAttempts},
 	}
 	actions = append(actions, e.maybeFormNewView(target)...)
@@ -206,9 +206,7 @@ func (e *Engine) maybeFormNewView(target uint64) []Action {
 		PrePrepares: preprepares,
 		Replica:     e.cfg.ID,
 	}
-	sign(nv, e.kp)
-
-	actions := []Action{BroadcastAction{Msg: nv}}
+	actions := []Action{signedBroadcast(nv, e.kp)}
 	actions = append(actions, e.installNewView(nv)...)
 	return actions
 }

@@ -58,6 +58,12 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Reset discards all encoded data, retaining the buffer for reuse.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// Truncate shortens the encoded data to n bytes, keeping the buffer for
+// further writes. It panics if n is negative or beyond the current length.
+// Used to rewrite a fixed tail in place — e.g. deriving signing bytes (empty
+// signature) from a full message encoding without re-encoding the message.
+func (e *Encoder) Truncate(n int) { e.buf = e.buf[:n] }
+
 // Byte appends a single byte.
 func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
 

@@ -158,6 +158,26 @@ func TestEncoderReset(t *testing.T) {
 	}
 }
 
+func TestEncoderTruncate(t *testing.T) {
+	e := NewEncoder(16)
+	e.Byte(1)
+	e.Byte(2)
+	e.Byte(3)
+	e.Truncate(1)
+	if !bytes.Equal(e.Data(), []byte{1}) {
+		t.Errorf("Data() after Truncate = %v, want [1]", e.Data())
+	}
+	// The encoder stays usable: appends continue from the cut point.
+	e.Byte(9)
+	if !bytes.Equal(e.Data(), []byte{1, 9}) {
+		t.Errorf("Data() after append = %v, want [1 9]", e.Data())
+	}
+	e.Truncate(0)
+	if e.Len() != 0 {
+		t.Errorf("Len() after Truncate(0) = %d", e.Len())
+	}
+}
+
 // Property: any (uint64, bytes, string) triple survives a round trip, and
 // the encoding of the triple is a deterministic function of the values.
 func TestRoundTripProperty(t *testing.T) {

@@ -10,14 +10,16 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: vet, build, race-test the consensus and
-# crypto packages, and smoke-run the verification benchmarks once so a
-# broken benchmark cannot rot unnoticed.
+# check is the pre-merge gate: vet, build, race-test the consensus, crypto,
+# ordering, and persistence packages, and smoke-run the verification and
+# batching benchmarks once so a broken benchmark cannot rot unnoticed.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/pbft/... ./internal/crypto/...
+	$(GO) test -race ./internal/core ./internal/blockchain
 	$(GO) test -run '^$$' -bench Verify -benchtime 1x ./internal/crypto/... ./internal/pbft/...
+	$(GO) test -run '^$$' -bench 'StoreAppend|OrderingThroughput' -benchtime 1x .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -43,6 +43,8 @@ func run() error {
 		busDrop    = flag.Float64("bus-drop", 0.05, "per-node bus frame drop probability")
 		busFlip    = flag.Float64("bus-bitflip", 0.01, "per-node bus bit-flip probability")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		batchSize  = flag.Int("batch-size", 16, "max records coalesced per proposal (1 = no batching)")
+		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "max wait before a partial batch is flushed")
 	)
 	flag.Parse()
 
@@ -74,10 +76,12 @@ func run() error {
 	var nodes []*node.Node
 	for _, id := range ids {
 		n, err := node.New(node.Config{
-			ID:           id,
-			Replicas:     ids,
-			DataCenters:  []crypto.NodeID{dcID},
-			DeleteQuorum: 1,
+			ID:            id,
+			Replicas:      ids,
+			DataCenters:   []crypto.NodeID{dcID},
+			DeleteQuorum:  1,
+			MaxBatch:      *batchSize,
+			MaxBatchDelay: *batchDelay,
 		}, kps[id], reg, net.Endpoint(id), clock.Real{})
 		if err != nil {
 			return err

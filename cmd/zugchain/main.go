@@ -58,6 +58,8 @@ func run() error {
 		dropRate    = flag.Float64("bus-drop", 0, "simulated bus frame drop probability")
 		bitFlipRate = flag.Float64("bus-bitflip", 0, "simulated bus bit-flip probability")
 		statsEvery  = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+		batchSize   = flag.Int("batch-size", 16, "max records coalesced per proposal (1 = no batching)")
+		batchDelay  = flag.Duration("batch-delay", 2*time.Millisecond, "max wait before a partial batch is flushed")
 	)
 	flag.Parse()
 
@@ -86,11 +88,13 @@ func run() error {
 	defer tr.Close()
 
 	n, err := node.New(node.Config{
-		ID:          id,
-		Replicas:    kr.ReplicaIDs(),
-		BlockSize:   *blockSize,
-		DataDir:     *dataDir,
-		DataCenters: kr.DataCenterIDs(),
+		ID:            id,
+		Replicas:      kr.ReplicaIDs(),
+		BlockSize:     *blockSize,
+		DataDir:       *dataDir,
+		DataCenters:   kr.DataCenterIDs(),
+		MaxBatch:      *batchSize,
+		MaxBatchDelay: *batchDelay,
 	}, kp, reg, tr, clock.Real{})
 	if err != nil {
 		return err

@@ -100,7 +100,9 @@ func (b *Block) Validate() error {
 			return fmt.Errorf("blockchain: block %d sequence range mismatch", b.Index)
 		}
 		for i := 1; i < len(b.Entries); i++ {
-			if b.Entries[i].Seq <= b.Entries[i-1].Seq {
+			// Non-decreasing, not strictly increasing: records decided as
+			// one batched proposal share a single agreement sequence number.
+			if b.Entries[i].Seq < b.Entries[i-1].Seq {
 				return fmt.Errorf("blockchain: block %d entries out of order", b.Index)
 			}
 		}

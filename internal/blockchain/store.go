@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"zugchain/internal/metrics"
 )
 
 // Store errors.
@@ -16,39 +18,79 @@ var (
 	ErrNotFound   = errors.New("blockchain: block not found")
 	ErrBadLinkage = errors.New("blockchain: block does not extend the head")
 	ErrPruned     = errors.New("blockchain: block was pruned")
+	ErrClosed     = errors.New("blockchain: store closed")
 )
 
 // Store keeps the chain in memory and, when configured with a directory,
-// persists every block to disk before acknowledging it — the paper persists
-// the blockchain on disk to survive power loss (§V-B "Comparison to JRU
-// Requirements"). Blocks below the pruning base are deleted after a
-// confirmed export (§III-D); compacted blocks survive as headers only.
+// persists every block to disk — fsync'd — before acknowledging it, so an
+// acknowledged append survives power loss (§V-B "Comparison to JRU
+// Requirements"). Durable writes go through a group-commit writer: appends
+// that arrive while a disk write is in flight are coalesced into the next
+// write group, which pays a single directory fsync for all of its blocks.
+// A group of one block degrades to exactly the previous per-block write
+// path. Blocks below the pruning base are deleted after a confirmed export
+// (§III-D); compacted blocks survive as headers only.
 type Store struct {
 	mu      sync.RWMutex
 	dir     string // empty = memory only
 	blocks  map[uint64]*Block
 	headers map[uint64]Header // bodies compacted away, headers retained
 	base    uint64            // lowest retained full block (pruning base)
-	head    uint64            // highest block index
+	head    uint64            // highest durable (or memory-only) block index
 	auth    []byte            // export authorization justifying the base
+
+	// Reservation tail for in-flight durable writes: linkage is checked
+	// against (pendHead, pendHash) so a second appender can queue the next
+	// block — and land in the same write group — while the first is still
+	// waiting on the disk. head trails pendHead until the group commits.
+	pendHead uint64
+	pendHash [32]byte
+	// failed latches the first durable-write error: memory state may be
+	// ahead of disk at that point, so the store refuses further appends
+	// rather than silently diverge from its own persistence.
+	failed error
+
+	gc metrics.GroupCommitCounters
+
+	// Group-commit writer (dir != ""). writeCh is deliberately unbuffered:
+	// a send succeeds only when the writer (or the Close drain) receives
+	// it, which is what makes shutdown race-free.
+	writeCh   chan *writeReq
+	quit      chan struct{}
+	writerEnd chan struct{}
+	closeOnce sync.Once
+}
+
+// writeReq is one appender's durable-write request to the commit loop.
+type writeReq struct {
+	blocks []*Block   // nil for a pure Sync barrier
+	err    chan error // buffered(1): the writer always answers
 }
 
 // NewStore creates a store rooted at the genesis block. If dir is nonempty
-// it is created if needed and any previously persisted blocks are loaded.
+// it is created if needed, any previously persisted blocks are loaded, and
+// the group-commit writer is started; such a store must be Closed.
 func NewStore(dir string) (*Store, error) {
 	s := &Store{
 		dir:     dir,
 		blocks:  map[uint64]*Block{0: Genesis()},
 		headers: make(map[uint64]Header),
 	}
-	if dir == "" {
-		return s, nil
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("blockchain: create store dir: %w", err)
+		}
+		if err := s.load(); err != nil {
+			return nil, err
+		}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("blockchain: create store dir: %w", err)
-	}
-	if err := s.load(); err != nil {
-		return nil, err
+	s.pendHead = s.head
+	s.pendHash = s.blocks[s.head].Hash()
+	if dir != "" {
+		s.writeCh = make(chan *writeReq)
+		s.quit = make(chan struct{})
+		s.writerEnd = make(chan struct{})
+		go s.commitLoop()
 	}
 	return s, nil
 }
@@ -88,7 +130,23 @@ func (s *Store) load() error {
 		return nil
 	}
 	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
-	s.head = indices[len(indices)-1]
+	// Keep only the contiguous run from the lowest index: a crash between a
+	// write group's renames and its directory fsync can, in principle,
+	// leave a gap, and blocks beyond a gap are not part of the durable
+	// chain prefix.
+	head := indices[0]
+	for _, idx := range indices[1:] {
+		if idx != head+1 {
+			break
+		}
+		head = idx
+	}
+	for _, idx := range indices {
+		if idx > head {
+			delete(s.blocks, idx)
+		}
+	}
+	s.head = head
 	if min := indices[0]; min > 1 {
 		s.base = min
 		if auth, err := os.ReadFile(filepath.Join(s.dir, "prune-auth.zc")); err == nil {
@@ -98,40 +156,231 @@ func (s *Store) load() error {
 	return nil
 }
 
-// Append adds a sealed block extending the current head, persisting it
-// before returning.
+// Append adds a sealed block extending the current head. For a persistent
+// store it returns only after the block — and the write group it rode in —
+// is fsync'd to disk.
 func (s *Store) Append(b *Block) error {
-	if err := b.Validate(); err != nil {
-		return err
+	return s.AppendBatch([]*Block{b})
+}
+
+// AppendBatch adds a contiguous run of sealed blocks extending the current
+// head, persisting them as a single fsync'd write group. Either all blocks
+// are appended or none: validation and linkage are checked up front. Used
+// by state transfer (a replica installing many fetched blocks at once) and
+// by anything else that knows several blocks ahead of time; the group pays
+// one directory fsync regardless of length.
+func (s *Store) AppendBatch(blocks []*Block) error {
+	if len(blocks) == 0 {
+		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b.Index != s.head+1 {
-		return fmt.Errorf("%w: index %d after head %d", ErrBadLinkage, b.Index, s.head)
-	}
-	prev, ok := s.blocks[s.head]
-	if ok && b.PrevHash != prev.Hash() {
-		return fmt.Errorf("%w: prev hash mismatch at %d", ErrBadLinkage, b.Index)
-	}
-	if s.dir != "" {
-		if err := s.writeBlock(b); err != nil {
+	for _, b := range blocks {
+		if err := b.Validate(); err != nil {
 			return err
 		}
 	}
-	s.blocks[b.Index] = b
-	s.head = b.Index
+
+	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	prevHash := s.pendHash
+	next := s.pendHead + 1
+	for _, b := range blocks {
+		if b.Index != next {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: index %d after head %d", ErrBadLinkage, b.Index, next-1)
+		}
+		if b.PrevHash != prevHash {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: prev hash mismatch at %d", ErrBadLinkage, b.Index)
+		}
+		prevHash = b.Hash()
+		next++
+	}
+	if s.dir == "" {
+		for _, b := range blocks {
+			s.blocks[b.Index] = b
+		}
+		s.head = next - 1
+		s.pendHead = s.head
+		s.pendHash = prevHash
+		s.mu.Unlock()
+		return nil
+	}
+	// Reserve the slots so a concurrent appender can stack the following
+	// blocks — and share our write group — while we wait on the disk.
+	s.pendHead = next - 1
+	s.pendHash = prevHash
+	s.mu.Unlock()
+
+	if err := s.submitWrite(&writeReq{blocks: blocks, err: make(chan error, 1)}); err != nil {
+		s.mu.Lock()
+		if s.failed == nil && !errors.Is(err, ErrClosed) {
+			s.failed = err
+		}
+		s.mu.Unlock()
+		return err
+	}
+
+	s.mu.Lock()
+	for _, b := range blocks {
+		s.blocks[b.Index] = b
+	}
+	if last := blocks[len(blocks)-1].Index; last > s.head {
+		s.head = last
+	}
+	s.mu.Unlock()
 	return nil
 }
 
-// writeBlock persists one block atomically (temp file + rename).
-func (s *Store) writeBlock(b *Block) error {
+// Sync is a durability barrier: it returns once every write group accepted
+// before the call is fsync'd to disk. Export and prune paths call it before
+// acting on store contents. No-op for a memory-only store.
+func (s *Store) Sync() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.gc.AddSync()
+	// An empty request round-trips through the commit loop, which
+	// serializes it after any in-flight group.
+	return s.submitWrite(&writeReq{err: make(chan error, 1)})
+}
+
+// Close stops the group-commit writer and releases any appenders still
+// queued (they get ErrClosed). The store must not be appended to after
+// Close; reads remain valid. Safe to call more than once.
+func (s *Store) Close() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		<-s.writerEnd
+		// Release appenders that were parked in submitWrite's send. With
+		// an unbuffered writeCh a send only ever pairs with a receive, so
+		// after this drain finds the channel idle every remaining sender
+		// is guaranteed to take its quit branch.
+		for {
+			select {
+			case r := <-s.writeCh:
+				r.err <- ErrClosed
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// GroupCommits exposes the group-commit writer's counters (groups, blocks
+// per group, explicit sync barriers).
+func (s *Store) GroupCommits() *metrics.GroupCommitCounters { return &s.gc }
+
+// submitWrite hands a request to the commit loop and waits for its group
+// to become durable.
+func (s *Store) submitWrite(r *writeReq) error {
+	select {
+	case s.writeCh <- r:
+		return <-r.err
+	case <-s.quit:
+		return ErrClosed
+	}
+}
+
+// commitLoop is the group-commit writer: it takes one queued request, then
+// drains every other request already waiting, writes all of their blocks
+// (each an fsync'd temp file renamed into place), and makes the whole group
+// durable with a single directory fsync before acknowledging everyone.
+func (s *Store) commitLoop() {
+	defer close(s.writerEnd)
+	for {
+		select {
+		case r := <-s.writeCh:
+			group := []*writeReq{r}
+		drain:
+			for {
+				select {
+				case r2 := <-s.writeCh:
+					group = append(group, r2)
+				default:
+					break drain
+				}
+			}
+			err := s.commitGroup(group)
+			for _, g := range group {
+				g.err <- err
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// commitGroup persists every block of the group and fsyncs the directory
+// once. A failure fails the whole group: none of its renames were made
+// durable by a directory fsync, so no member may be acknowledged.
+func (s *Store) commitGroup(group []*writeReq) error {
+	n := 0
+	for _, r := range group {
+		for _, b := range r.blocks {
+			if err := s.writeBlockFile(b); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return nil // pure Sync barriers: prior groups already fsync'd
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	s.gc.RecordGroup(n)
+	return nil
+}
+
+// writeBlockFile persists one block atomically and durably: the temp file
+// is fsync'd before the rename, so the rename can never install a file
+// whose contents might still be lost to power failure. The directory fsync
+// that makes the rename itself durable is the group's, in commitGroup.
+func (s *Store) writeBlockFile(b *Block) error {
 	final := filepath.Join(s.dir, fmt.Sprintf("block-%08d.zc", b.Index))
 	tmp := final + ".tmp"
-	if err := os.WriteFile(tmp, b.Marshal(), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("blockchain: write block %d: %w", b.Index, err)
+	}
+	if _, err := f.Write(b.Marshal()); err != nil {
+		f.Close()
+		return fmt.Errorf("blockchain: write block %d: %w", b.Index, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("blockchain: sync block %d: %w", b.Index, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("blockchain: close block %d: %w", b.Index, err)
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("blockchain: commit block %d: %w", b.Index, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the store directory, making completed renames durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("blockchain: open store dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("blockchain: sync store dir: %w", err)
 	}
 	return nil
 }
@@ -233,10 +482,49 @@ func (s *Store) Prune(keepFrom uint64, auth []byte) error {
 	}
 	s.base = keepFrom
 	s.auth = auth
-	if s.dir != "" && auth != nil {
-		_ = os.WriteFile(filepath.Join(s.dir, "prune-auth.zc"), auth, 0o644)
+	if s.dir != "" {
+		// The authorization must be durable before the deletions are: a
+		// pruned chain recovered after power loss has to be able to
+		// justify its non-genesis base (§III-D step 6).
+		if auth != nil {
+			_ = writeFileSync(filepath.Join(s.dir, "prune-auth.zc"), auth)
+		}
+		_ = s.syncDir()
 	}
 	return nil
+}
+
+// writeFileSync durably replaces path with data: fsync'd temp file, rename,
+// directory fsync.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // PruneAuth returns the stored export authorization for the current base.

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"zugchain/internal/crypto"
+	"zugchain/internal/pbft"
+	"zugchain/internal/wire"
+)
+
+func TestBatchFlushesWhenFull(t *testing.T) {
+	fx := newFixture(t, 0, func(c *Config) { c.MaxBatch = 3 }) // r0 is primary
+	fx.layer.OnBusRecord(0, []byte("a"))
+	fx.layer.OnBusRecord(0, []byte("b"))
+	if got := len(fx.bft.proposals()); got != 0 {
+		t.Fatalf("proposals before the batch filled = %d", got)
+	}
+	fx.layer.OnBusRecord(0, []byte("c"))
+
+	props := fx.bft.proposals()
+	if len(props) != 1 {
+		t.Fatalf("proposals = %d, want 1 batched", len(props))
+	}
+	if !props[0].Batch {
+		t.Fatal("proposal not marked as a batch")
+	}
+	if err := pbft.VerifyRequestDeep(&props[0], fx.reg); err != nil {
+		t.Fatalf("batched proposal fails verification: %v", err)
+	}
+	items, err := pbft.DecodeBatch(props[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("batch carries %d records, want 3", len(items))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if string(items[i].Payload) != want || items[i].Origin != 0 {
+			t.Errorf("item %d = %+v", i, items[i])
+		}
+	}
+
+	snap := fx.layer.Batches().Snapshot()
+	if snap.Flushes != 1 || snap.Records != 3 || snap.SizeFlushes != 1 || snap.MaxSize != 3 {
+		t.Errorf("batch counters = %+v", snap)
+	}
+}
+
+func TestBatchFlushesOnDelay(t *testing.T) {
+	fx := newFixture(t, 0, func(c *Config) {
+		c.MaxBatch = 8
+		c.MaxBatchDelay = 2 * time.Millisecond
+	})
+	fx.layer.OnBusRecord(0, []byte("a"))
+	fx.layer.OnBusRecord(0, []byte("b"))
+	if got := len(fx.bft.proposals()); got != 0 {
+		t.Fatalf("partial batch proposed early (%d)", got)
+	}
+
+	fx.clk.Advance(2 * time.Millisecond)
+	waitFor(t, func() bool { return len(fx.bft.proposals()) == 1 })
+
+	props := fx.bft.proposals()
+	items, err := pbft.DecodeBatch(props[0].Payload)
+	if err != nil || len(items) != 2 {
+		t.Fatalf("flush-by-delay batch = %d items, err %v", len(items), err)
+	}
+	snap := fx.layer.Batches().Snapshot()
+	if snap.DelayFlushes != 1 || snap.SizeFlushes != 0 {
+		t.Errorf("batch counters = %+v", snap)
+	}
+	if snap.WaitMax != 2*time.Millisecond {
+		t.Errorf("oldest-record wait = %v, want 2ms", snap.WaitMax)
+	}
+}
+
+func TestSingleRecordFlushDegradesToPlainRequest(t *testing.T) {
+	fx := newFixture(t, 0, func(c *Config) { c.MaxBatch = 8 })
+	fx.layer.OnBusRecord(0, []byte("alone"))
+	fx.clk.Advance(2 * time.Millisecond)
+	waitFor(t, func() bool { return len(fx.bft.proposals()) == 1 })
+
+	p := fx.bft.proposals()[0]
+	if p.Batch {
+		t.Error("single-record flush produced a batch envelope")
+	}
+	if string(p.Payload) != "alone" || p.Origin != 0 {
+		t.Errorf("proposal = %+v", p)
+	}
+	if err := pbft.VerifyRequest(&p, fx.reg); err != nil {
+		t.Errorf("proposal not signed: %v", err)
+	}
+}
+
+// batchOf builds a signed batch proposal from the given (origin, payload)
+// pairs, as the primary `by` would propose it.
+func (fx *layerFixture) batchOf(by crypto.NodeID, recs ...pbft.Request) pbft.Request {
+	for i := range recs {
+		if recs[i].Sig == nil {
+			pbft.SignRequest(&recs[i], fx.kps[recs[i].Origin])
+		}
+	}
+	req := pbft.Request{Payload: pbft.EncodeBatch(recs), Batch: true}
+	pbft.SignRequest(&req, fx.kps[by])
+	return req
+}
+
+func TestBatchDecideUnpacksPerRecord(t *testing.T) {
+	fx := newFixture(t, 1, nil) // backup; primary r0
+	batch := fx.batchOf(0,
+		pbft.Request{Payload: []byte("one"), Origin: 0},
+		pbft.Request{Payload: []byte("two"), Origin: 2},
+		pbft.Request{Payload: []byte("three"), Origin: 3},
+	)
+	fx.layer.OnDecide(7, batch)
+
+	entries := fx.rec.entries()
+	if len(entries) != 3 {
+		t.Fatalf("logged %d records, want 3", len(entries))
+	}
+	wantOrigins := []crypto.NodeID{0, 2, 3}
+	for i, want := range []string{"one", "two", "three"} {
+		if entries[i].payload != want || entries[i].seq != 7 || entries[i].origin != wantOrigins[i] {
+			t.Errorf("entry %d = %+v", i, entries[i])
+		}
+	}
+	if len(fx.bft.suspicions()) != 0 {
+		t.Errorf("suspicions = %v", fx.bft.suspicions())
+	}
+}
+
+func TestBatchDecideCancelsOpenTimers(t *testing.T) {
+	fx := newFixture(t, 1, nil) // backup
+	fx.layer.OnBusRecord(0, []byte("one"))
+	fx.layer.OnBusRecord(0, []byte("two"))
+
+	fx.layer.OnDecide(1, fx.batchOf(0,
+		pbft.Request{Payload: []byte("one"), Origin: 0},
+		pbft.Request{Payload: []byte("two"), Origin: 0},
+	))
+	if fx.layer.OpenRequests() != 0 {
+		t.Fatalf("open = %d after batch decide", fx.layer.OpenRequests())
+	}
+	fx.clk.Advance(time.Hour)
+	time.Sleep(20 * time.Millisecond)
+	if fx.tr.numBroadcasts() != 0 || len(fx.bft.suspicions()) != 0 {
+		t.Error("timers fired for records decided in a batch")
+	}
+}
+
+func TestDuplicateInsideBatchSuspectsPrimaryButLogsRest(t *testing.T) {
+	fx := newFixture(t, 1, nil)
+	fx.layer.OnDecide(3, fx.batchOf(0,
+		pbft.Request{Payload: []byte("dup"), Origin: 0},
+		pbft.Request{Payload: []byte("honest"), Origin: 2},
+		pbft.Request{Payload: []byte("dup"), Origin: 0},
+	))
+
+	entries := fx.rec.entries()
+	if len(entries) != 2 {
+		t.Fatalf("logged %d records, want dup once + honest", len(entries))
+	}
+	if entries[0].payload != "dup" || entries[1].payload != "honest" {
+		t.Errorf("entries = %+v", entries)
+	}
+	// The primary assembled a batch it should have filtered: suspected.
+	if s := fx.bft.suspicions(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("suspicions = %v, want the primary r0", s)
+	}
+}
+
+func TestBatchDuplicateAcrossDecidesSuspectsPrimary(t *testing.T) {
+	fx := newFixture(t, 1, nil)
+	fx.layer.OnDecide(1, fx.batchOf(0, pbft.Request{Payload: []byte("seen"), Origin: 0}, pbft.Request{Payload: []byte("x"), Origin: 0}))
+	fx.layer.OnDecide(2, fx.batchOf(0, pbft.Request{Payload: []byte("y"), Origin: 0}, pbft.Request{Payload: []byte("seen"), Origin: 0}))
+
+	if got := len(fx.rec.entries()); got != 3 {
+		t.Errorf("logged %d, want x, y and seen once", got)
+	}
+	if s := fx.bft.suspicions(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("suspicions = %v", s)
+	}
+}
+
+func TestMalformedBatchDecideSuspectsPrimary(t *testing.T) {
+	fx := newFixture(t, 1, nil)
+	req := pbft.Request{Payload: []byte{0xde, 0xad}, Batch: true}
+	pbft.SignRequest(&req, fx.kps[0])
+	fx.layer.OnDecide(1, req)
+
+	if got := len(fx.rec.entries()); got != 0 {
+		t.Errorf("logged %d records from a malformed batch", got)
+	}
+	if s := fx.bft.suspicions(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("suspicions = %v, want the primary r0", s)
+	}
+}
+
+func TestNewPrimaryDropsPendingBatch(t *testing.T) {
+	fx := newFixture(t, 0, func(c *Config) { c.MaxBatch = 8 }) // primary
+	fx.layer.OnBusRecord(0, []byte("queued-1"))
+	fx.layer.OnBusRecord(0, []byte("queued-2"))
+
+	fx.layer.OnNewPrimary(1, 1) // demoted before the batch flushed
+
+	if got := len(fx.bft.proposals()); got != 0 {
+		t.Fatalf("demoted node proposed %d", got)
+	}
+	// The stale delay timer must not resurrect the batch.
+	fx.clk.Advance(2 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	if got := len(fx.bft.proposals()); got != 0 {
+		t.Fatalf("stale batch timer proposed %d", got)
+	}
+	// The records are still open under the new primary: soft timeouts run.
+	if fx.layer.OpenRequests() != 2 {
+		t.Fatalf("open = %d", fx.layer.OpenRequests())
+	}
+	fx.clk.Advance(250 * time.Millisecond)
+	waitFor(t, func() bool { return fx.tr.numBroadcasts() == 2 })
+}
+
+func TestNewPrimaryReproposesIntoOneBatch(t *testing.T) {
+	fx := newFixture(t, 1, func(c *Config) { c.MaxBatch = 8 }) // backup under r0
+	fx.layer.OnBusRecord(0, []byte("held-1"))
+	fx.layer.OnBusRecord(0, []byte("held-2"))
+	if len(fx.bft.proposals()) != 0 {
+		t.Fatal("backup proposed")
+	}
+
+	fx.layer.OnNewPrimary(1, 1) // we become primary: re-propose, flushed at once
+
+	props := fx.bft.proposals()
+	if len(props) != 1 || !props[0].Batch {
+		t.Fatalf("proposals after promotion = %+v, want one batch", props)
+	}
+	items, err := pbft.DecodeBatch(props[0].Payload)
+	if err != nil || len(items) != 2 {
+		t.Fatalf("promotion batch = %d items, err %v", len(items), err)
+	}
+}
+
+func TestPeerBatchRequestRejected(t *testing.T) {
+	fx := newFixture(t, 0, func(c *Config) { c.MaxBatch = 8 })
+	inner := pbft.Request{Payload: []byte("smuggled"), Origin: 2}
+	pbft.SignRequest(&inner, fx.kps[2])
+	req := pbft.Request{Payload: pbft.EncodeBatch([]pbft.Request{inner}), Batch: true}
+	pbft.SignRequest(&req, fx.kps[2])
+
+	fx.tr.handler(2, wire.Marshal(&ZCRequest{Req: req}))
+	if len(fx.bft.proposals()) != 0 || fx.layer.OpenRequests() != 0 {
+		t.Error("batch-flagged peer request admitted")
+	}
+}
+
+func TestBatchingPreservesWindowInvariant(t *testing.T) {
+	// Randomized decides arriving as batches must never log a payload
+	// twice within the window (§III-B), same invariant as the unbatched
+	// random-schedule test.
+	fx := newFixture(t, 1, func(c *Config) { c.WindowSeqs = 50 })
+	var seq uint64
+	for round := 0; round < 60; round++ {
+		recs := make([]pbft.Request, 0, 4)
+		for i := 0; i < 1+(round%4); i++ {
+			// Overlapping payload space forces in-window duplicates.
+			recs = append(recs, pbft.Request{
+				Payload: []byte(fmt.Sprintf("p-%d", (round*3+i)%40)),
+				Origin:  crypto.NodeID(i % 4),
+			})
+		}
+		seq++
+		fx.layer.OnDecide(seq, fx.batchOf(0, recs...))
+	}
+	lastAt := make(map[string]uint64)
+	for _, e := range fx.rec.entries() {
+		if prev, ok := lastAt[e.payload]; ok && e.seq-prev <= 50 {
+			t.Fatalf("payload %q logged at seq %d and again at %d", e.payload, prev, e.seq)
+		}
+		lastAt[e.payload] = e.seq
+	}
+}

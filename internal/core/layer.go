@@ -74,6 +74,18 @@ type Config struct {
 	// and every decision under the layer mutex — happens strictly after
 	// verification either way.
 	VerifyPool *crypto.VerifyPool
+	// MaxBatch is the maximum number of records the primary coalesces
+	// into one batched proposal before forcing a flush. 1 (the default)
+	// disables batching: every record is proposed individually, which is
+	// byte-identical to the pre-batching behavior. Each record inside a
+	// batch keeps its own origin and signature, and the duplicate filter,
+	// soft/hard timeouts and duplicate-decide suspicion all still operate
+	// per record.
+	MaxBatch int
+	// MaxBatchDelay bounds how long a record may sit in the primary's
+	// open batch waiting for companions before a flush is forced. Only
+	// meaningful with MaxBatch > 1. Defaults to 2ms.
+	MaxBatchDelay time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -88,6 +100,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.WindowSeqs == 0 {
 		c.WindowSeqs = 100
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1
+	}
+	if c.MaxBatch > pbft.MaxBatchRecords {
+		c.MaxBatch = pbft.MaxBatchRecords
+	}
+	if c.MaxBatchDelay <= 0 {
+		c.MaxBatchDelay = 2 * time.Millisecond
 	}
 }
 
@@ -125,13 +146,25 @@ type Layer struct {
 
 	mu      sync.Mutex
 	primary crypto.NodeID
+	view    uint64
 	open    map[crypto.Digest]*reqState // the request queue R
 	decided *decidedWindow              // the inLog sliding window
 	perNode map[crypto.NodeID]int       // open-via-broadcast counts per origin
 	closed  bool
 
+	// Primary-side request coalescing (MaxBatch > 1): records admitted
+	// while primary accumulate here instead of being proposed one at a
+	// time, and flush as a single batched proposal when the batch fills
+	// or MaxBatchDelay expires. batchGen invalidates stale delay-timer
+	// callbacks after a flush or view change.
+	batch      []pbft.Request
+	batchTimer *timerHandle
+	batchT0    time.Time // when the oldest record entered the batch
+	batchGen   uint64
+
 	counters *metrics.Counters
 	latency  *metrics.Latency
+	batches  *metrics.BatchCounters
 	received map[crypto.Digest]time.Time // for latency measurement
 }
 
@@ -153,6 +186,7 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, bft BFT, tr trans
 		perNode:  make(map[crypto.NodeID]int),
 		counters: &metrics.Counters{},
 		latency:  &metrics.Latency{},
+		batches:  &metrics.BatchCounters{},
 		received: make(map[crypto.Digest]time.Time),
 	}
 	tr.SetHandler(l.onTransport)
@@ -165,6 +199,10 @@ func (l *Layer) Counters() *metrics.Counters { return l.counters }
 
 // Latency exposes receive-to-decide latencies.
 func (l *Layer) Latency() *metrics.Latency { return l.latency }
+
+// Batches exposes the primary-side batching counters (flush sizes, flush
+// triggers, batching wait times).
+func (l *Layer) Batches() *metrics.BatchCounters { return l.batches }
 
 // OpenRequests reports the current size of the request queue R.
 func (l *Layer) OpenRequests() int {
@@ -184,6 +222,11 @@ func (l *Layer) Close() {
 		}
 	}
 	l.open = make(map[crypto.Digest]*reqState)
+	if l.batchTimer != nil {
+		l.batchTimer.stop()
+		l.batchTimer = nil
+	}
+	l.batch = nil
 }
 
 // OnBusRecord is RECEIVE of Table I ②: a parsed, filtered record read from
@@ -225,14 +268,41 @@ func (l *Layer) OnBusRecord(src int, payload []byte) {
 
 // OnDecide is the DECIDE up-call from the BFT module. Algorithm 1 lines
 // 12–20. Must be invoked in sequence-number order (the PBFT runner
-// guarantees this).
+// guarantees this). A batched request is unpacked and each inner record
+// runs through the full per-record decide logic — every record keeps its
+// own origin, signature, duplicate check and LOG up-call, so Algorithm 1's
+// semantics are unchanged by batching; the records merely share one
+// agreement slot.
 func (l *Layer) OnDecide(seq uint64, req pbft.Request) {
-	digest := req.PayloadDigest()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return
 	}
+	if req.Batch {
+		items, err := pbft.DecodeBatch(req.Payload)
+		if err != nil {
+			// The inner records were signature-checked before agreement,
+			// but a faulty primary could still propose a structurally
+			// invalid batch; deciding it proves the primary built it.
+			l.bft.Suspect(l.primary)
+			return
+		}
+		// A duplicate inside the batch makes decideOneLocked suspect the
+		// primary (the window already holds the digest at this seq), but
+		// the remaining honest records are still logged.
+		for i := range items {
+			l.decideOneLocked(seq, items[i])
+		}
+		return
+	}
+	l.decideOneLocked(seq, req)
+}
+
+// decideOneLocked applies Algorithm 1 lines 12–20 to a single decided
+// record (a plain request, or one record of a batch).
+func (l *Layer) decideOneLocked(seq uint64, req pbft.Request) {
+	digest := req.PayloadDigest()
 
 	if st, ok := l.open[digest]; ok {
 		if !st.proposed {
@@ -269,7 +339,22 @@ func (l *Layer) OnNewPrimary(view uint64, primary crypto.NodeID) {
 	if l.closed {
 		return
 	}
+	if view == l.view && primary == l.primary {
+		// Re-announcement of the view we already operate in — the BFT
+		// module's startup announcement. No earlier primary exists whose
+		// failure could have swallowed a proposal, and resetting the
+		// proposed flags here would re-submit records that are already
+		// queued inside this same engine: each would be ordered twice,
+		// tripping the duplicate filter and making every replica suspect
+		// an honest primary.
+		return
+	}
+	l.view = view
 	l.primary = primary
+	// Drop any half-assembled batch: its records are still in R with
+	// proposed reset below, so the loop re-proposes (or re-arms timers
+	// for) every one of them under the new primary.
+	l.resetBatchLocked()
 	for digest, st := range l.open {
 		if st.timer != nil {
 			st.timer.stop()
@@ -285,6 +370,9 @@ func (l *Layer) OnNewPrimary(view uint64, primary crypto.NodeID) {
 			l.armSoftTimeout(digest, st) // ln. 43
 		}
 	}
+	// Re-proposed records already waited through a view change; flush
+	// them immediately rather than letting the delay timer add latency.
+	l.flushBatchLocked(false)
 }
 
 // onTransport handles ZCRequest messages from peers: broadcasts after soft
@@ -303,6 +391,12 @@ func (l *Layer) onTransport(from crypto.NodeID, data []byte) {
 		return
 	}
 	req := zc.Req
+	if req.Batch {
+		// Peers broadcast and forward individual records only; batches
+		// exist solely as primary proposals inside PBFT. A batch-flagged
+		// peer request is faulty input.
+		return
+	}
 	verifyAndAdmit := func() {
 		if err := pbft.VerifyRequest(&req, l.reg); err != nil {
 			return // unauthenticated peer request
@@ -374,7 +468,8 @@ func (l *Layer) admitPeerRequest(req pbft.Request) {
 func (l *Layer) isPrimaryLocked() bool { return l.primary == l.cfg.ID }
 
 // proposeLocked signs (if the request is our own bus input) and submits to
-// the BFT module.
+// the BFT module — directly, or via the coalescing batch when batching is
+// enabled.
 func (l *Layer) proposeLocked(st *reqState, origin crypto.NodeID) {
 	if st.proposed {
 		return
@@ -387,7 +482,73 @@ func (l *Layer) proposeLocked(st *reqState, origin crypto.NodeID) {
 		l.counters.AddSignature()
 	}
 	_ = origin // the id travels inside the signed request
+	if l.cfg.MaxBatch > 1 {
+		l.enqueueBatchLocked(st.req)
+		return
+	}
 	l.bft.Propose(st.req)
+}
+
+// enqueueBatchLocked adds a signed record to the open batch, flushing when
+// it fills and arming the delay timer when it opens.
+func (l *Layer) enqueueBatchLocked(req pbft.Request) {
+	l.batch = append(l.batch, req)
+	if len(l.batch) >= l.cfg.MaxBatch {
+		l.flushBatchLocked(false)
+		return
+	}
+	if len(l.batch) == 1 {
+		l.batchT0 = l.clk.Now()
+		gen := l.batchGen
+		l.batchTimer = l.armTimer(l.cfg.MaxBatchDelay, func() { l.onBatchDelay(gen) })
+	}
+}
+
+// onBatchDelay is the MaxBatchDelay timer callback: flush whatever has
+// accumulated. gen guards against a stale timer (the batch it was armed
+// for already flushed, or a view change reset it) flushing a newer batch
+// early.
+func (l *Layer) onBatchDelay(gen uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || gen != l.batchGen {
+		return
+	}
+	l.flushBatchLocked(true)
+}
+
+// flushBatchLocked proposes the open batch as one request. A single-record
+// batch degrades to a plain proposal — byte-identical to unbatched
+// operation. byDelay records which trigger fired, for the metrics.
+func (l *Layer) flushBatchLocked(byDelay bool) {
+	items := l.resetBatchLocked()
+	if len(items) == 0 {
+		return
+	}
+	l.batches.RecordFlush(len(items), l.clk.Now().Sub(l.batchT0), byDelay)
+	if len(items) == 1 {
+		l.bft.Propose(items[0])
+		return
+	}
+	req := pbft.Request{Payload: pbft.EncodeBatch(items), Batch: true}
+	// The batch envelope is our proposal: sign it as ourselves. The inner
+	// records keep their own origins and signatures.
+	pbft.SignRequest(&req, l.kp)
+	l.counters.AddSignature()
+	l.bft.Propose(req)
+}
+
+// resetBatchLocked detaches and returns the open batch, stopping its delay
+// timer and invalidating pending timer callbacks.
+func (l *Layer) resetBatchLocked() []pbft.Request {
+	if l.batchTimer != nil {
+		l.batchTimer.stop()
+		l.batchTimer = nil
+	}
+	l.batchGen++
+	items := l.batch
+	l.batch = nil
+	return items
 }
 
 // armSoftTimeout starts the backup's wait for the primary (ln. 11).

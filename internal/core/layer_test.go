@@ -616,3 +616,31 @@ func TestLayerRandomScheduleInvariants(t *testing.T) {
 		})
 	}
 }
+
+// TestStartupAnnouncementDoesNotRepropose guards the race at node start: bus
+// records can reach the layer (and be proposed into the engine) before the
+// engine's own startup NEWPRIMARY announcement is pumped through the runner.
+// That announcement re-states the view the layer already operates in, so it
+// must not reset the proposed flags — re-proposing would order every open
+// record twice and make all replicas suspect an honest primary.
+func TestStartupAnnouncementDoesNotRepropose(t *testing.T) {
+	fx := newFixture(t, 0, nil)
+	fx.layer.OnBusRecord(0, []byte("early-1"))
+	fx.layer.OnBusRecord(0, []byte("early-2"))
+	if got := len(fx.bft.proposals()); got != 2 {
+		t.Fatalf("proposals = %d, want 2", got)
+	}
+
+	// The engine's startup announcement arrives after the records.
+	fx.layer.OnNewPrimary(0, 0)
+	if got := len(fx.bft.proposals()); got != 2 {
+		t.Errorf("proposals after startup announcement = %d, want still 2", got)
+	}
+
+	// A real view change still re-proposes open records once we are the
+	// primary of the new view.
+	fx.layer.OnNewPrimary(4, 0)
+	if got := len(fx.bft.proposals()); got != 4 {
+		t.Errorf("proposals after real view change = %d, want 4", got)
+	}
+}

@@ -28,6 +28,7 @@ func (m *ZCRequest) WireType() wire.Type { return typeZCRequest }
 func (m *ZCRequest) EncodeWire(e *wire.Encoder) {
 	e.Bytes(m.Req.Payload)
 	e.Uint32(uint32(m.Req.Origin))
+	e.Bool(m.Req.Batch)
 	e.Bytes(m.Req.Sig)
 }
 
@@ -35,5 +36,6 @@ func (m *ZCRequest) EncodeWire(e *wire.Encoder) {
 func (m *ZCRequest) DecodeWire(d *wire.Decoder) {
 	m.Req.Payload = d.BytesCopy()
 	m.Req.Origin = crypto.NodeID(d.Uint32())
+	m.Req.Batch = d.Bool()
 	m.Req.Sig = d.BytesCopy()
 }

@@ -77,6 +77,69 @@ func TestWindowReAddedEntryNotKilledByStaleEviction(t *testing.T) {
 	}
 }
 
+func TestWindowSharedSeqEvictedTogether(t *testing.T) {
+	// Records decided as one batch share a seq: they must stay and go as
+	// one unit, exactly when that seq leaves the window.
+	w := newDecidedWindow(3)
+	w.add(dig("b1"), 2)
+	w.add(dig("b2"), 2)
+	w.add(dig("b3"), 2)
+	w.add(dig("x"), 5) // cutoff 2: the whole batch goes
+	for _, d := range []string{"b1", "b2", "b3"} {
+		if w.contains(dig(d)) {
+			t.Errorf("%s survived past the window", d)
+		}
+	}
+	if !w.contains(dig("x")) {
+		t.Error("fresh entry evicted")
+	}
+	if w.len() != 1 {
+		t.Errorf("len = %d, want 1", w.len())
+	}
+}
+
+func TestWindowWrapLargeSeqJump(t *testing.T) {
+	// A decide stream resuming far ahead (view change with many nulls, or
+	// state transfer) must flush everything older in one eviction pass and
+	// compact the FIFO.
+	w := newDecidedWindow(10)
+	for seq := uint64(1); seq <= 8; seq++ {
+		w.add(crypto.Hash([]byte{byte(seq)}), seq)
+	}
+	w.add(dig("far"), 1000)
+	if w.len() != 1 || !w.contains(dig("far")) {
+		t.Fatalf("len = %d after wrap, want only the fresh entry", w.len())
+	}
+	if len(w.order) != 1 {
+		t.Errorf("order FIFO = %d entries, want compacted to 1", len(w.order))
+	}
+}
+
+func TestWindowReAddAtHigherSeqSurvivesIntermediateEvictions(t *testing.T) {
+	// A digest evicted and re-added at a much higher seq must survive every
+	// eviction whose cutoff lies between the two occurrences: the stale
+	// FIFO record for the first occurrence may be processed while the map
+	// already points at the second.
+	w := newDecidedWindow(2)
+	w.add(dig("r"), 1)
+	w.add(dig("r"), 10) // re-add long before ("r",1) leaves the FIFO
+	for seq := uint64(11); seq <= 12; seq++ {
+		w.add(crypto.Hash([]byte{byte(seq)}), seq) // cutoffs 9 and 10... (10 evicts it)
+		if seq == 11 && !w.contains(dig("r")) {
+			t.Fatal("re-added digest killed by its own stale FIFO record")
+		}
+	}
+	// cutoff reached 10: the re-added occurrence itself is now out.
+	if w.contains(dig("r")) {
+		t.Error("re-added digest survived past its own window")
+	}
+	// And a third occurrence starts a fresh life.
+	w.add(dig("r"), 13)
+	if !w.contains(dig("r")) {
+		t.Error("third occurrence missing")
+	}
+}
+
 func TestWindowLen(t *testing.T) {
 	w := newDecidedWindow(100)
 	for i := uint64(1); i <= 7; i++ {

@@ -178,6 +178,10 @@ func (s *Server) handleRead(req *ReadRequest) {
 			from = base
 		}
 		if from <= index {
+			// Durability barrier: never hand a data center blocks whose
+			// group commit has not reached disk — an export followed by a
+			// delete must not be the only surviving copy's ancestor.
+			_ = s.store.Sync()
 			if blocks, err := s.store.Range(from, index); err == nil {
 				reply.Blocks = make([][]byte, 0, len(blocks))
 				for _, b := range blocks {
@@ -237,6 +241,9 @@ func (s *Server) handleDelete(del Delete) {
 	s.mu.Unlock()
 
 	// Prune, keeping the deleted boundary block as the new chain base.
+	// The barrier first makes every in-flight group commit durable:
+	// deleting data must never outrun persisting its successors.
+	_ = s.store.Sync()
 	if err := s.store.Prune(del.BlockIndex, cert.Marshal()); err != nil {
 		return
 	}

@@ -193,6 +193,138 @@ func (p *PoolCounters) Snapshot() PoolSnapshot {
 	return s
 }
 
+// BatchCounters instruments the primary's request coalescing (the ordering
+// hot path's batching stage): how many flushes happened and why (the batch
+// filled up, or the max-batch-delay expired), how many records they carried,
+// and how long the oldest record of each flush waited. Like PoolCounters it
+// keeps O(1) state so it can sit on the hot path. All methods are safe for
+// concurrent use; the zero value is ready to use.
+type BatchCounters struct {
+	flushes      atomic.Uint64
+	records      atomic.Uint64
+	sizeFlushes  atomic.Uint64
+	delayFlushes atomic.Uint64
+	maxSize      atomic.Int64
+	waitSumNs    atomic.Int64
+	waitMaxNs    atomic.Int64
+}
+
+// RecordFlush records one batch flush of size records whose oldest record
+// waited wait; byDelay reports whether the max-batch-delay timer (rather
+// than the size limit) triggered it.
+func (b *BatchCounters) RecordFlush(size int, wait time.Duration, byDelay bool) {
+	b.flushes.Add(1)
+	b.records.Add(uint64(size))
+	if byDelay {
+		b.delayFlushes.Add(1)
+	} else {
+		b.sizeFlushes.Add(1)
+	}
+	s := int64(size)
+	for {
+		cur := b.maxSize.Load()
+		if s <= cur || b.maxSize.CompareAndSwap(cur, s) {
+			break
+		}
+	}
+	ns := int64(wait)
+	b.waitSumNs.Add(ns)
+	for {
+		cur := b.waitMaxNs.Load()
+		if ns <= cur || b.waitMaxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// BatchSnapshot is a point-in-time copy of BatchCounters.
+type BatchSnapshot struct {
+	// Flushes counts proposals sent; Records the records they carried.
+	Flushes uint64
+	Records uint64
+	// SizeFlushes and DelayFlushes split Flushes by trigger.
+	SizeFlushes  uint64
+	DelayFlushes uint64
+	// MaxSize is the largest single flush; MeanSize = Records/Flushes.
+	MaxSize  int64
+	MeanSize float64
+	// WaitMean and WaitMax describe how long the oldest record of a flush
+	// waited for companions (the batching latency cost).
+	WaitMean time.Duration
+	WaitMax  time.Duration
+}
+
+// Snapshot returns the current batch counter values.
+func (b *BatchCounters) Snapshot() BatchSnapshot {
+	s := BatchSnapshot{
+		Flushes:      b.flushes.Load(),
+		Records:      b.records.Load(),
+		SizeFlushes:  b.sizeFlushes.Load(),
+		DelayFlushes: b.delayFlushes.Load(),
+		MaxSize:      b.maxSize.Load(),
+		WaitMax:      time.Duration(b.waitMaxNs.Load()),
+	}
+	if s.Flushes > 0 {
+		s.MeanSize = float64(s.Records) / float64(s.Flushes)
+		s.WaitMean = time.Duration(b.waitSumNs.Load() / int64(s.Flushes))
+	}
+	return s
+}
+
+// GroupCommitCounters instruments the blockchain store's group-commit
+// writer: how many durable write groups ran, how many blocks they covered
+// (one directory fsync per group makes every block in it durable at once),
+// and how many explicit Sync barriers were requested. Safe for concurrent
+// use; the zero value is ready to use.
+type GroupCommitCounters struct {
+	groups   atomic.Uint64
+	blocks   atomic.Uint64
+	syncs    atomic.Uint64
+	maxGroup atomic.Int64
+}
+
+// RecordGroup records one committed write group of n blocks.
+func (g *GroupCommitCounters) RecordGroup(n int) {
+	g.groups.Add(1)
+	g.blocks.Add(uint64(n))
+	v := int64(n)
+	for {
+		cur := g.maxGroup.Load()
+		if v <= cur || g.maxGroup.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// AddSync records one explicit Sync barrier request.
+func (g *GroupCommitCounters) AddSync() { g.syncs.Add(1) }
+
+// GroupCommitSnapshot is a point-in-time copy of GroupCommitCounters.
+type GroupCommitSnapshot struct {
+	// Groups counts fsync'd write groups; Blocks the blocks they covered.
+	Groups uint64
+	Blocks uint64
+	// Syncs counts explicit Sync barrier calls.
+	Syncs uint64
+	// MaxGroup is the largest group; MeanGroup = Blocks/Groups.
+	MaxGroup  int64
+	MeanGroup float64
+}
+
+// Snapshot returns the current group-commit counter values.
+func (g *GroupCommitCounters) Snapshot() GroupCommitSnapshot {
+	s := GroupCommitSnapshot{
+		Groups:   g.groups.Load(),
+		Blocks:   g.blocks.Load(),
+		Syncs:    g.syncs.Load(),
+		MaxGroup: g.maxGroup.Load(),
+	}
+	if s.Groups > 0 {
+		s.MeanGroup = float64(s.Blocks) / float64(s.Groups)
+	}
+	return s
+}
+
 // Latency accumulates duration samples and reports distribution statistics.
 // It is safe for concurrent use.
 type Latency struct {

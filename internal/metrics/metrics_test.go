@@ -220,3 +220,71 @@ func TestPoolCountersConcurrent(t *testing.T) {
 		t.Errorf("queue peak = %d, want >= 1", s.QueuePeak)
 	}
 }
+
+func TestBatchCountersSnapshot(t *testing.T) {
+	var b BatchCounters
+	if snap := b.Snapshot(); snap.Flushes != 0 || snap.MeanSize != 0 || snap.WaitMean != 0 {
+		t.Errorf("zero-value snapshot = %+v", snap)
+	}
+	b.RecordFlush(4, 2*time.Millisecond, false)
+	b.RecordFlush(8, 6*time.Millisecond, true)
+	b.RecordFlush(3, time.Millisecond, true)
+
+	snap := b.Snapshot()
+	if snap.Flushes != 3 || snap.Records != 15 {
+		t.Errorf("flushes/records = %d/%d", snap.Flushes, snap.Records)
+	}
+	if snap.SizeFlushes != 1 || snap.DelayFlushes != 2 {
+		t.Errorf("triggers = %d size, %d delay", snap.SizeFlushes, snap.DelayFlushes)
+	}
+	if snap.MaxSize != 8 || snap.MeanSize != 5 {
+		t.Errorf("sizes = max %d, mean %v", snap.MaxSize, snap.MeanSize)
+	}
+	if snap.WaitMax != 6*time.Millisecond || snap.WaitMean != 3*time.Millisecond {
+		t.Errorf("waits = max %v, mean %v", snap.WaitMax, snap.WaitMean)
+	}
+}
+
+func TestGroupCommitCountersSnapshot(t *testing.T) {
+	var g GroupCommitCounters
+	if snap := g.Snapshot(); snap.Groups != 0 || snap.MeanGroup != 0 {
+		t.Errorf("zero-value snapshot = %+v", snap)
+	}
+	g.RecordGroup(1)
+	g.RecordGroup(7)
+	g.RecordGroup(4)
+	g.AddSync()
+	g.AddSync()
+
+	snap := g.Snapshot()
+	if snap.Groups != 3 || snap.Blocks != 12 || snap.Syncs != 2 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.MaxGroup != 7 || snap.MeanGroup != 4 {
+		t.Errorf("group sizes = max %d, mean %v", snap.MaxGroup, snap.MeanGroup)
+	}
+}
+
+func TestBatchCountersConcurrent(t *testing.T) {
+	var b BatchCounters
+	var g GroupCommitCounters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.RecordFlush(w+1, time.Duration(i)*time.Microsecond, i%2 == 0)
+				g.RecordGroup(w + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	bs, gs := b.Snapshot(), g.Snapshot()
+	if bs.Flushes != 8000 || bs.MaxSize != 8 {
+		t.Errorf("batch snapshot = %+v", bs)
+	}
+	if gs.Groups != 8000 || gs.MaxGroup != 8 {
+		t.Errorf("group snapshot = %+v", gs)
+	}
+}

@@ -286,7 +286,7 @@ func (e *Engine) onPrePrepare(pp *PrePrepare, reqVerified bool) []Action {
 		return nil
 	}
 	if !reqVerified {
-		if err := VerifyRequest(&pp.Req, e.reg); err != nil {
+		if err := VerifyRequestDeep(&pp.Req, e.reg); err != nil {
 			return nil
 		}
 	}
@@ -310,10 +310,15 @@ func (e *Engine) acceptPrePrepare(pp *PrePrepare) []Action {
 	var actions []Action
 	if pp.Replica != e.cfg.ID {
 		if !pp.Req.IsNull() {
-			actions = append(actions, PrePreparedAction{
-				Seq:           pp.Seq,
-				PayloadDigest: pp.Req.PayloadDigest(),
-			})
+			// One indication per record: a batched proposal downgrades the
+			// soft timeout of every record it carries, exactly as separate
+			// proposals would (§III-C optimization).
+			for _, pd := range pp.Req.PayloadDigests() {
+				actions = append(actions, PrePreparedAction{
+					Seq:           pp.Seq,
+					PayloadDigest: pd,
+				})
+			}
 		}
 		p := &Prepare{
 			View:    pp.View,

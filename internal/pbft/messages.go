@@ -25,16 +25,24 @@ func init() {
 }
 
 // Request is the unit of agreement: one bus cycle's consolidated signals,
-// signed by the node that read them (Algorithm 1: r ← sign(req, id)). PBFT
-// orders requests without interpreting the payload.
+// signed by the node that read them (Algorithm 1: r ← sign(req, id)), or —
+// with Batch set — a coalesced batch of such records proposed as one
+// ordering instance. PBFT orders requests without interpreting the payload.
 type Request struct {
-	// Payload is the marshalled signal record.
+	// Payload is the marshalled signal record, or an EncodeBatch payload
+	// when Batch is set.
 	Payload []byte
-	// Origin identifies the node that received the data from the bus.
-	// Decided requests are logged together with this id (§III-C).
+	// Origin identifies the node that received the data from the bus; for
+	// a batch, the primary that assembled it. Decided requests are logged
+	// together with this id (§III-C).
 	Origin crypto.NodeID
-	// Sig is Origin's signature over the payload digest and origin id.
+	// Sig is Origin's signature over the payload digest, origin id and
+	// batch flag.
 	Sig []byte
+	// Batch marks Payload as an encoded batch (see EncodeBatch). The flag
+	// is signed, so a relay cannot reinterpret a record as a batch or vice
+	// versa without invalidating Sig.
+	Batch bool
 }
 
 // PayloadDigest identifies the request content for duplicate filtering. Two
@@ -46,10 +54,11 @@ func (r *Request) PayloadDigest() crypto.Digest {
 
 // signingBytes returns the bytes covered by Sig.
 func (r *Request) signingBytes() []byte {
-	e := wire.NewEncoder(40)
+	e := wire.NewEncoder(48)
 	d := r.PayloadDigest()
 	e.Bytes32(d)
 	e.Uint32(uint32(r.Origin))
+	e.Bool(r.Batch)
 	return e.Data()
 }
 
@@ -80,6 +89,7 @@ func (r *Request) IsNull() bool { return len(r.Payload) == 0 }
 func (r *Request) encodeTo(e *wire.Encoder) {
 	e.Bytes(r.Payload)
 	e.Uint32(uint32(r.Origin))
+	e.Bool(r.Batch)
 	e.Bytes(r.Sig)
 }
 
@@ -87,6 +97,7 @@ func decodeRequest(d *wire.Decoder) Request {
 	return Request{
 		Payload: d.BytesCopy(),
 		Origin:  crypto.NodeID(d.Uint32()),
+		Batch:   d.Bool(),
 		Sig:     d.BytesCopy(),
 	}
 }

@@ -134,16 +134,18 @@ func verify(m signable, reg *crypto.Registry) error {
 
 // preVerify performs the expensive Ed25519 checks for an inbound message
 // without touching engine state: the envelope signature plus, for
-// preprepares, the embedded request signature. It is what the runner runs on
-// the VerifyPool's workers; Engine.ReceiveVerified then skips exactly these
-// checks. Callers must own m (no concurrent mutation), but m itself is never
-// mutated here.
+// preprepares, the embedded request signature — and, for batch requests,
+// every inner record signature, so a batched proposal reaching the event
+// loop is already known to carry only authenticated records. It is what the
+// runner runs on the VerifyPool's workers; Engine.ReceiveVerified then skips
+// exactly these checks. Callers must own m (no concurrent mutation), but m
+// itself is never mutated here.
 func preVerify(m signable, reg *crypto.Registry) error {
 	if err := verify(m, reg); err != nil {
 		return err
 	}
 	if pp, ok := m.(*PrePrepare); ok {
-		return VerifyRequest(&pp.Req, reg)
+		return VerifyRequestDeep(&pp.Req, reg)
 	}
 	return nil
 }

@@ -11,14 +11,17 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: vet, build, race-test the consensus, crypto,
-# ordering, and persistence packages, and smoke-run the verification and
-# batching benchmarks once so a broken benchmark cannot rot unnoticed.
+# ordering, persistence, and transport packages, and smoke-run the
+# verification, batching, and transport benchmarks once so a broken
+# benchmark cannot rot unnoticed.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/pbft/... ./internal/crypto/...
 	$(GO) test -race ./internal/core ./internal/blockchain
+	$(GO) test -race ./internal/transport
 	$(GO) test -run '^$$' -bench Verify -benchtime 1x ./internal/crypto/... ./internal/pbft/...
+	$(GO) test -run '^$$' -bench Transport -benchtime 1x ./internal/transport
 	$(GO) test -run '^$$' -bench 'StoreAppend|OrderingThroughput' -benchtime 1x .
 
 bench:

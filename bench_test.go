@@ -330,16 +330,58 @@ func reportBlocksPerSec(b *testing.B, n int) {
 func BenchmarkOrderingThroughput(b *testing.B) {
 	for _, batch := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			benchOrderingThroughput(b, batch)
+			net := transport.NewNetwork()
+			defer net.Close()
+			trs := make(map[crypto.NodeID]transport.Transport)
+			for _, id := range []crypto.NodeID{0, 1, 2, 3} {
+				trs[id] = net.Endpoint(id)
+			}
+			benchOrderingThroughput(b, batch, trs)
 		})
 	}
 }
 
-func benchOrderingThroughput(b *testing.B, maxBatch int) {
+// BenchmarkOrderingThroughputTCP is the same four-node ordering benchmark
+// over real TCP loopback connections, exercising the transport's outbound
+// write path (framing, syscalls, per-peer fan-out) instead of the in-process
+// network. The acceptance target for the asynchronous transport pipeline is
+// ≥1.5x records/s at batch=64 over the synchronous-send baseline
+// (BENCH_transport.json).
+func BenchmarkOrderingThroughputTCP(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			ids := []crypto.NodeID{0, 1, 2, 3}
+			tcps := make([]*transport.TCP, len(ids))
+			addrs := make(map[crypto.NodeID]string)
+			for i, id := range ids {
+				tr, err := transport.NewTCP(id, "127.0.0.1:0", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer tr.Close()
+				tcps[i] = tr
+				addrs[id] = tr.Addr()
+			}
+			trs := make(map[crypto.NodeID]transport.Transport)
+			for i, id := range ids {
+				tcps[i].SetPeers(addrs)
+				trs[id] = tcps[i]
+			}
+			benchOrdering(b, batch, trs, 256)
+		})
+	}
+}
+
+func benchOrderingThroughput(b *testing.B, maxBatch int, trs map[crypto.NodeID]transport.Transport) {
+	// The historical in-process window (BENCH_ordering.json): enough
+	// concurrency to fill batches and the PBFT watermark, little enough
+	// that tail latency stays far below the timeouts.
+	benchOrdering(b, maxBatch, trs, 64)
+}
+
+func benchOrdering(b *testing.B, maxBatch int, trs map[crypto.NodeID]transport.Transport, maxOutstanding uint64) {
 	const recordsPerIter = 512
 	ids := []crypto.NodeID{0, 1, 2, 3}
-	net := transport.NewNetwork()
-	defer net.Close()
 	kps := make(map[crypto.NodeID]*crypto.KeyPair)
 	var pairs []*crypto.KeyPair
 	for _, id := range ids {
@@ -363,7 +405,7 @@ func benchOrderingThroughput(b *testing.B, maxBatch int) {
 			ViewTimeout:   2 * time.Second,
 			MaxBatch:      maxBatch,
 			MaxBatchDelay: time.Millisecond,
-		}, kps[id], reg, net.Endpoint(id), clock.Real{})
+		}, kps[id], reg, trs[id], clock.Real{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -376,10 +418,8 @@ func benchOrderingThroughput(b *testing.B, maxBatch int) {
 		}
 	}()
 
-	// maxOutstanding windows the feed: enough concurrency to fill batches
-	// and the PBFT watermark, little enough that tail latency stays far
-	// below the timeouts.
-	const maxOutstanding = 64
+	// maxOutstanding windows the feed: it bounds how many records are in
+	// flight at once, i.e. how many agreement slots the pipeline overlaps.
 	ordered := func() uint64 {
 		// Decides are totally ordered and the duplicate filter is
 		// deterministic, so one correct node reaching a count proves a

@@ -45,6 +45,8 @@ func run() error {
 		interval     = flag.Duration("interval", 30*time.Second, "export period")
 		shapeLTE     = flag.Bool("lte", false, "shape the uplink to the paper's LTE profile")
 		deleteAcks   = flag.Int("delete-acks", 3, "replica acks required per export round")
+		sendQueue    = flag.Int("send-queue", transport.DefaultSendQueue, "per-replica outbound queue capacity (oldest dropped when full)")
+		flushEvery   = flag.Duration("flush-interval", 0, "linger before flushing partial outbound write batches (0 = flush when idle)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	tcp.SendQueue = *sendQueue
+	tcp.FlushInterval = *flushEvery
 	var tr transport.Transport = tcp
 	if *shapeLTE {
 		tr = netsim.NewShaped(tcp, netsim.LTE)

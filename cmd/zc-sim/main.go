@@ -45,6 +45,7 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		batchSize  = flag.Int("batch-size", 16, "max records coalesced per proposal (1 = no batching)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "max wait before a partial batch is flushed")
+		sendQueue  = flag.Int("send-queue", 4096, "per-endpoint inbox capacity (messages dropped when full)")
 	)
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func run() error {
 	pairs = append(pairs, dcKP)
 	reg := crypto.NewRegistry(pairs...)
 
-	net := transport.NewNetwork(transport.WithSeed(*seed))
+	net := transport.NewNetwork(transport.WithSeed(*seed), transport.WithInboxSize(*sendQueue))
 	defer net.Close()
 
 	genCfg := signal.DefaultGeneratorConfig()

@@ -60,6 +60,8 @@ func run() error {
 		statsEvery  = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 		batchSize   = flag.Int("batch-size", 16, "max records coalesced per proposal (1 = no batching)")
 		batchDelay  = flag.Duration("batch-delay", 2*time.Millisecond, "max wait before a partial batch is flushed")
+		sendQueue   = flag.Int("send-queue", transport.DefaultSendQueue, "per-peer outbound queue capacity (oldest dropped when full)")
+		flushEvery  = flag.Duration("flush-interval", 0, "linger before flushing partial outbound write batches (0 = flush when idle)")
 	)
 	flag.Parse()
 
@@ -85,6 +87,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	tr.SendQueue = *sendQueue
+	tr.FlushInterval = *flushEvery
 	defer tr.Close()
 
 	n, err := node.New(node.Config{
@@ -139,10 +143,13 @@ func run() error {
 		case <-tickCh:
 			store := n.Store()
 			lat := n.Layer().Latency().Stats()
-			log.Printf("chain height=%d base=%d ordered=%d open=%d lat(med)=%v",
+			ns := tr.NetCounters().Snapshot()
+			log.Printf("chain height=%d base=%d ordered=%d open=%d lat(med)=%v "+
+				"net(queued=%d dropped=%d coalesce=%.1f redials=%d)",
 				store.HeadIndex(), store.Base(),
 				n.Layer().Counters().Snapshot().Requests,
-				n.Layer().OpenRequests(), lat.Median)
+				n.Layer().OpenRequests(), lat.Median,
+				ns.QueueDepth, ns.Drops+ns.WriteErrors, ns.CoalesceMean, ns.Redials)
 		}
 	}
 }

@@ -325,6 +325,92 @@ func (g *GroupCommitCounters) Snapshot() GroupCommitSnapshot {
 	return s
 }
 
+// NetCounters instruments a transport's asynchronous outbound pipeline (the
+// per-peer send queues and their coalescing writers): queue depth and peak,
+// frames dropped on queue overflow or lost to broken connections, how many
+// frames each write syscall carried, and background redials. Like
+// PoolCounters it keeps O(1) state so it can sit on the transport hot path.
+// All methods are safe for concurrent use; the zero value is ready to use.
+type NetCounters struct {
+	enqueued    atomic.Uint64
+	drops       atomic.Uint64
+	writeErrors atomic.Uint64
+	writeOps    atomic.Uint64
+	frames      atomic.Uint64
+	redials     atomic.Uint64
+	depth       atomic.Int64
+	peak        atomic.Int64
+}
+
+// Enqueued records one frame entering a send queue, tracking peak depth.
+func (n *NetCounters) Enqueued() {
+	n.enqueued.Add(1)
+	d := n.depth.Add(1)
+	for {
+		cur := n.peak.Load()
+		if d <= cur || n.peak.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Dequeued records k frames leaving a send queue.
+func (n *NetCounters) Dequeued(k int) { n.depth.Add(-int64(k)) }
+
+// AddDrop records one frame dropped by the queue-overflow policy.
+func (n *NetCounters) AddDrop() { n.drops.Add(1) }
+
+// AddWriteError records k frames lost to a failed connection write.
+func (n *NetCounters) AddWriteError(k int) { n.writeErrors.Add(uint64(k)) }
+
+// AddWrite records one write syscall that flushed k coalesced frames.
+func (n *NetCounters) AddWrite(k int) {
+	n.writeOps.Add(1)
+	n.frames.Add(uint64(k))
+}
+
+// AddRedial records one background reconnection attempt.
+func (n *NetCounters) AddRedial() { n.redials.Add(1) }
+
+// NetSnapshot is a point-in-time copy of NetCounters.
+type NetSnapshot struct {
+	// Enqueued counts frames accepted into send queues; Drops the frames
+	// evicted by the overflow policy; WriteErrors the frames lost when a
+	// connection write failed mid-flush.
+	Enqueued    uint64
+	Drops       uint64
+	WriteErrors uint64
+	// WriteOps counts write syscalls; Frames the frames they carried.
+	// CoalesceMean = Frames/WriteOps is the amortization the vectored
+	// writer achieves.
+	WriteOps     uint64
+	Frames       uint64
+	CoalesceMean float64
+	// Redials counts background reconnection attempts.
+	Redials uint64
+	// QueueDepth is the instantaneous total backlog; QueuePeak its maximum.
+	QueueDepth int64
+	QueuePeak  int64
+}
+
+// Snapshot returns the current net counter values.
+func (n *NetCounters) Snapshot() NetSnapshot {
+	s := NetSnapshot{
+		Enqueued:    n.enqueued.Load(),
+		Drops:       n.drops.Load(),
+		WriteErrors: n.writeErrors.Load(),
+		WriteOps:    n.writeOps.Load(),
+		Frames:      n.frames.Load(),
+		Redials:     n.redials.Load(),
+		QueueDepth:  n.depth.Load(),
+		QueuePeak:   n.peak.Load(),
+	}
+	if s.WriteOps > 0 {
+		s.CoalesceMean = float64(s.Frames) / float64(s.WriteOps)
+	}
+	return s
+}
+
 // Latency accumulates duration samples and reports distribution statistics.
 // It is safe for concurrent use.
 type Latency struct {

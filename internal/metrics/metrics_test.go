@@ -288,3 +288,61 @@ func TestBatchCountersConcurrent(t *testing.T) {
 		t.Errorf("group snapshot = %+v", gs)
 	}
 }
+
+func TestNetCountersSnapshot(t *testing.T) {
+	var n NetCounters
+	for i := 0; i < 5; i++ {
+		n.Enqueued()
+	}
+	n.Dequeued(3)
+	n.AddDrop()
+	n.Dequeued(1) // the dropped frame leaves the queue too
+	n.AddWrite(3)
+	n.AddWriteError(2)
+	n.AddRedial()
+
+	s := n.Snapshot()
+	if s.Enqueued != 5 || s.Drops != 1 || s.WriteErrors != 2 || s.Redials != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.WriteOps != 1 || s.Frames != 3 || s.CoalesceMean != 3 {
+		t.Errorf("coalescing: ops=%d frames=%d mean=%v", s.WriteOps, s.Frames, s.CoalesceMean)
+	}
+	if s.QueueDepth != 1 || s.QueuePeak != 5 {
+		t.Errorf("depth = %d, peak = %d, want 1/5", s.QueueDepth, s.QueuePeak)
+	}
+}
+
+func TestNetCountersZero(t *testing.T) {
+	var n NetCounters
+	if s := n.Snapshot(); s != (NetSnapshot{}) {
+		t.Errorf("zero snapshot = %+v", s)
+	}
+}
+
+func TestNetCountersConcurrent(t *testing.T) {
+	var n NetCounters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				n.Enqueued()
+				n.Dequeued(1)
+				n.AddWrite(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := n.Snapshot()
+	if s.Enqueued != 8000 || s.QueueDepth != 0 {
+		t.Errorf("enqueued = %d, depth = %d", s.Enqueued, s.QueueDepth)
+	}
+	if s.WriteOps != 8000 || s.Frames != 16000 || s.CoalesceMean != 2 {
+		t.Errorf("ops=%d frames=%d mean=%v", s.WriteOps, s.Frames, s.CoalesceMean)
+	}
+	if s.QueuePeak < 1 || s.QueuePeak > 8 {
+		t.Errorf("peak = %d out of [1,8]", s.QueuePeak)
+	}
+}

@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zugchain/internal/crypto"
+)
+
+// benchWindow bounds how many messages a benchmark keeps in flight. It must
+// stay below the send queue capacity: the transport drops the oldest frame
+// on overflow, and a dropped frame would leave the receiver counter short
+// of its target forever.
+const benchWindow = 512
+
+// benchWait spins until the receiver-side counter reaches want.
+func benchWait(b *testing.B, got *atomic.Uint64, want uint64) {
+	b.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for got.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("received %d/%d messages before deadline", got.Load(), want)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// benchThrottle keeps at most benchWindow frames outstanding (sent counts
+// frames, one per receiver) so no bounded per-peer queue can overflow.
+func benchThrottle(b *testing.B, got *atomic.Uint64, sent uint64) {
+	b.Helper()
+	if sent < benchWindow {
+		return
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for got.Load()+benchWindow < sent {
+		if time.Now().After(deadline) {
+			b.Fatalf("receiver stuck at %d with %d sent", got.Load(), sent)
+		}
+		// Park, don't spin: a Gosched loop on a single-core host keeps the
+		// run queue non-empty so the netpoller is only serviced by sysmon
+		// (~10ms), stalling the reader. Real callers block normally.
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// BenchmarkTransportTCPSend measures the single-peer send path over TCP
+// loopback: b.N 256-byte messages, timed until the last one is delivered.
+func BenchmarkTransportTCPSend(b *testing.B) {
+	a, err := NewTCP(0, "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	c, err := NewTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	a.SetPeers(map[crypto.NodeID]string{1: c.Addr()})
+
+	var got atomic.Uint64
+	c.SetHandler(func(from crypto.NodeID, data []byte) { got.Add(1) })
+
+	msg := make([]byte, 256)
+	// Establish the connection outside the timed region.
+	if err := a.Send(1, msg); err != nil {
+		b.Fatal(err)
+	}
+	benchWait(b, &got, 1)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchThrottle(b, &got, uint64(i))
+		if err := a.Send(1, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchWait(b, &got, uint64(b.N)+1)
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "msgs/s")
+	}
+}
+
+// BenchmarkTransportTCPBroadcast measures the three-peer broadcast fan-out
+// over TCP loopback, the exact shape of a PBFT protocol message leaving a
+// four-node replica.
+func BenchmarkTransportTCPBroadcast(b *testing.B) {
+	a, err := NewTCP(0, "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	peers := make(map[crypto.NodeID]string)
+	var got atomic.Uint64
+	for i := 1; i <= 3; i++ {
+		p, err := NewTCP(crypto.NodeID(i), "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		p.SetHandler(func(from crypto.NodeID, data []byte) { got.Add(1) })
+		peers[crypto.NodeID(i)] = p.Addr()
+	}
+	a.SetPeers(peers)
+
+	msg := make([]byte, 256)
+	if err := a.Broadcast(msg); err != nil {
+		b.Fatal(err)
+	}
+	benchWait(b, &got, 3)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchThrottle(b, &got, uint64(3*i))
+		if err := a.Broadcast(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchWait(b, &got, uint64(3*(b.N+1)))
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "broadcasts/s")
+	}
+}

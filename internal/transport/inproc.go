@@ -42,6 +42,17 @@ func WithSeed(seed int64) NetworkOption {
 	return networkOptionFunc(func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) })
 }
 
+// WithInboxSize sets the per-endpoint inbox capacity (the in-process
+// equivalent of the TCP transport's SendQueue knob). Messages arriving at a
+// full inbox are dropped, like frames on a saturated link.
+func WithInboxSize(size int) NetworkOption {
+	return networkOptionFunc(func(n *Network) {
+		if size > 0 {
+			n.inboxSize = size
+		}
+	})
+}
+
 // Network is an in-process message network simulating the train's Ethernet.
 // It delivers messages between Endpoints with configurable per-link latency,
 // jitter, loss, and partitions, and accounts bytes per node for the
@@ -53,6 +64,7 @@ type Network struct {
 	defaultLink  LinkConfig
 	interceptors map[crypto.NodeID]Interceptor
 	rng          *rand.Rand
+	inboxSize    int
 	closed       bool
 }
 
@@ -68,6 +80,7 @@ func NewNetwork(opts ...NetworkOption) *Network {
 		links:        make(map[[2]crypto.NodeID]LinkConfig),
 		interceptors: make(map[crypto.NodeID]Interceptor),
 		rng:          rand.New(rand.NewSource(1)),
+		inboxSize:    4096,
 	}
 	for _, o := range opts {
 		o.apply(n)
@@ -85,7 +98,7 @@ func (n *Network) Endpoint(id crypto.NodeID) *Endpoint {
 	ep := &Endpoint{
 		net:    n,
 		id:     id,
-		inbox:  make(chan envelope, 4096),
+		inbox:  make(chan envelope, n.inboxSize),
 		closed: make(chan struct{}),
 	}
 	go ep.dispatch()
@@ -256,6 +269,7 @@ type Endpoint struct {
 	closeOnce sync.Once
 
 	counters metrics.Counters
+	netstats metrics.NetCounters
 }
 
 var _ Transport = (*Endpoint)(nil)
@@ -273,7 +287,13 @@ func (e *Endpoint) SetHandler(h Handler) {
 // Counters exposes this endpoint's traffic counters.
 func (e *Endpoint) Counters() *metrics.Counters { return &e.counters }
 
-// Send implements Transport.
+// NetCounters exposes the endpoint's queue counters (inbox drops), the
+// in-process analogue of TCP.NetCounters.
+func (e *Endpoint) NetCounters() *metrics.NetCounters { return &e.netstats }
+
+// Send implements Transport. Like TCP's, it is a non-blocking enqueue: the
+// simulated link delivers (or drops) asynchronously and never blocks the
+// caller on the receiver.
 func (e *Endpoint) Send(to crypto.NodeID, data []byte) error {
 	select {
 	case <-e.closed:
@@ -315,10 +335,12 @@ func (e *Endpoint) enqueue(env envelope) {
 	select {
 	case <-e.closed:
 	case e.inbox <- env:
+		e.netstats.Enqueued()
 	default:
 		// Inbox full: drop, as a saturated real link would. The paper
 		// observes exactly this for the baseline at 32 ms bus cycles
 		// ("the baseline cannot keep up ... requests are dropped").
+		e.netstats.AddDrop()
 	}
 }
 
@@ -329,6 +351,7 @@ func (e *Endpoint) dispatch() {
 		case <-e.closed:
 			return
 		case env := <-e.inbox:
+			e.netstats.Dequeued(1)
 			e.counters.AddReceived(len(env.data))
 			e.mu.Lock()
 			h := e.handler

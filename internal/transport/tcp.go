@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -20,28 +21,109 @@ import (
 // maxFrameSize guards against hostile length prefixes.
 const maxFrameSize = 64 << 20
 
-// TCP is a Transport over real TCP connections. Outbound connections are
-// dialed lazily and redialed on failure; inbound connections are accepted on
-// the configured listen address and identified by their hello frame.
+// frameHeaderSize is the per-message wire overhead (the length prefix).
+const frameHeaderSize = 4
+
+// Tunables of the asynchronous outbound pipeline.
+const (
+	// DefaultSendQueue is the default per-peer outbound queue capacity.
+	DefaultSendQueue = 1024
+	// DefaultDialTimeout bounds one outbound connection attempt.
+	DefaultDialTimeout = 2 * time.Second
+
+	// redialBackoffMin/Max cap the background reconnect loop's exponential
+	// backoff between failed dial attempts.
+	redialBackoffMin = 20 * time.Millisecond
+	redialBackoffMax = 2 * time.Second
+
+	// maxCoalesceFrames and maxCoalesceBytes bound one vectored write: the
+	// writer never merges more than this many queued frames (or bytes) into
+	// a single net.Buffers flush, keeping per-peer memory and iovec counts
+	// bounded under sustained backlog.
+	maxCoalesceFrames = 64
+	maxCoalesceBytes  = 1 << 20
+
+	// readBufSize sizes the pooled bufio.Reader in front of each
+	// connection, so the frame header and small payloads cost one read
+	// syscall instead of two.
+	readBufSize = 64 << 10
+)
+
+// framePool recycles outbound frame buffers (length prefix + payload in one
+// contiguous allocation). Send paths take a buffer, writers return it after
+// the flush, so a steady-state connection allocates nothing per message.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// newFrame encodes data as one wire frame into a pooled buffer.
+func newFrame(data []byte) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(len(data)))
+	b = append(b, data...)
+	*bp = b
+	return bp
+}
+
+func releaseFrame(bp *[]byte) {
+	// Don't let one huge frame pin its storage in the pool forever.
+	if cap(*bp) > maxCoalesceBytes {
+		return
+	}
+	framePool.Put(bp)
+}
+
+// readerPool recycles the bufio.Reader placed in front of every connection.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, readBufSize) },
+}
+
+// TCP is a Transport over real TCP connections with an asynchronous per-peer
+// outbound pipeline: Send and Broadcast enqueue onto a bounded per-peer
+// queue and return immediately; a dedicated writer goroutine per peer drains
+// the queue, coalescing all immediately available frames into one vectored
+// write (net.Buffers → writev). Connections are dialed and redialed by the
+// writer with capped exponential backoff, so a dead or slow peer can never
+// stall a caller — queue overflow drops the oldest frames (PBFT retransmits
+// or view-changes around transport loss). Inbound connections are accepted
+// on the configured listen address, identified by their hello frame, and
+// adopted as the peer's write path when no dialed connection exists.
 type TCP struct {
-	id    crypto.NodeID
-	peers map[crypto.NodeID]string
+	id crypto.NodeID
 
 	listener net.Listener
 
-	mu      sync.Mutex
-	handler Handler
-	conns   map[crypto.NodeID]*peerConn // outbound, lazily dialed
-	closed  bool
-
-	wg       sync.WaitGroup
-	counters metrics.Counters
-
 	// DialTimeout bounds each outbound connection attempt.
 	DialTimeout time.Duration
+	// SendQueue is the per-peer outbound queue capacity; when full, the
+	// oldest queued frame is dropped. Zero selects DefaultSendQueue. Set
+	// before the first Send.
+	SendQueue int
+	// FlushInterval, when positive, lets an idle writer wait this long for
+	// more frames before issuing a small write — trading latency for fewer,
+	// larger syscalls. Zero (the default) flushes as soon as the queue is
+	// drained. Set before the first Send.
+	FlushInterval time.Duration
+
+	mu      sync.Mutex
+	peers   map[crypto.NodeID]string
+	handler Handler
+	out     map[crypto.NodeID]*tcpPeer
+	live    map[net.Conn]struct{} // every open conn, inbound and dialed
+	closed  bool
+
+	closing chan struct{}
+	wg      sync.WaitGroup
+
+	counters metrics.Counters
+	net      metrics.NetCounters
 }
 
-var _ Transport = (*TCP)(nil)
+var (
+	_ Transport = (*TCP)(nil)
+	_ Flusher   = (*TCP)(nil)
+)
 
 // NewTCP creates a TCP transport for id listening on listenAddr. peers maps
 // every other node ID to its dialable address. Pass an empty listenAddr to
@@ -50,8 +132,10 @@ func NewTCP(id crypto.NodeID, listenAddr string, peers map[crypto.NodeID]string)
 	t := &TCP{
 		id:          id,
 		peers:       peers,
-		conns:       make(map[crypto.NodeID]*peerConn),
-		DialTimeout: 2 * time.Second,
+		out:         make(map[crypto.NodeID]*tcpPeer),
+		live:        make(map[net.Conn]struct{}),
+		closing:     make(chan struct{}),
+		DialTimeout: DefaultDialTimeout,
 	}
 	if listenAddr != "" {
 		ln, err := net.Listen("tcp", listenAddr)
@@ -91,28 +175,36 @@ func (t *TCP) SetHandler(h Handler) {
 	t.mu.Unlock()
 }
 
-// Counters exposes this transport's traffic counters.
+// Counters exposes this transport's traffic counters. Sent/received bytes
+// include the frame header, matching actual wire traffic.
 func (t *TCP) Counters() *metrics.Counters { return &t.counters }
 
-// Send implements Transport.
+// NetCounters exposes the outbound pipeline's queue/coalescing/redial
+// counters.
+func (t *TCP) NetCounters() *metrics.NetCounters { return &t.net }
+
+// Send implements Transport: a non-blocking enqueue onto the peer's
+// outbound queue. A nil error means the frame was queued, not delivered;
+// delivery is best-effort (ErrUnknownPeer is returned only when no address
+// and no live connection for the peer exists).
 func (t *TCP) Send(to crypto.NodeID, data []byte) error {
-	pc, err := t.conn(to)
+	p, err := t.peer(to)
 	if err != nil {
 		return err
 	}
-	if err := pc.writeFrame(data); err != nil {
-		// Drop the broken connection; the next Send redials.
-		t.dropConn(to, pc)
-		return fmt.Errorf("transport: send to %v: %w", to, err)
-	}
-	t.counters.AddSent(len(data))
+	p.enqueue(newFrame(data))
 	return nil
 }
 
-// Broadcast implements Transport. Failures to individual peers do not stop
-// the broadcast; the first error is returned.
+// Broadcast implements Transport: one non-blocking enqueue per known peer.
+// A slow, dead, or unreachable peer only affects its own queue; the caller
+// never waits on dials or writes.
 func (t *TCP) Broadcast(data []byte) error {
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
 	ids := make([]crypto.NodeID, 0, len(t.peers))
 	for id := range t.peers {
 		if id != t.id {
@@ -129,7 +221,26 @@ func (t *TCP) Broadcast(data []byte) error {
 	return firstErr
 }
 
-// Close implements Transport.
+// Flush implements Flusher: it wakes every peer writer that is waiting out a
+// FlushInterval so buffered frames hit the wire immediately.
+func (t *TCP) Flush() {
+	t.mu.Lock()
+	peers := make([]*tcpPeer, 0, len(t.out))
+	for _, p := range t.out {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	for _, p := range peers {
+		select {
+		case p.flush <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Close implements Transport. It closes every live connection — dialed and
+// inbound, including inbound duplicates that never became a peer's write
+// path — stops all writer/reader goroutines, and waits for them.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -137,80 +248,90 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]*peerConn, 0, len(t.conns))
-	for _, c := range t.conns {
+	conns := make([]net.Conn, 0, len(t.live))
+	for c := range t.live {
 		conns = append(conns, c)
 	}
-	t.conns = make(map[crypto.NodeID]*peerConn)
+	t.live = make(map[net.Conn]struct{})
 	t.mu.Unlock()
 
+	close(t.closing)
 	if t.listener != nil {
 		_ = t.listener.Close()
 	}
 	for _, c := range conns {
-		_ = c.c.Close()
+		_ = c.Close()
 	}
 	t.wg.Wait()
 	return nil
 }
 
-// conn returns a live outbound connection to peer, dialing if necessary.
-func (t *TCP) conn(to crypto.NodeID) (*peerConn, error) {
+// peer returns (creating if necessary) the outbound pipeline for id. A peer
+// is created when it has a dialable address or an adopted inbound
+// connection; otherwise ErrUnknownPeer.
+func (t *TCP) peer(id crypto.NodeID) (*tcpPeer, error) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if c, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return c, nil
+	if p, ok := t.out[id]; ok {
+		return p, nil
 	}
-	addr, ok := t.peers[to]
-	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, to)
+	if _, ok := t.peers[id]; !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, id)
 	}
-
-	c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %v at %s: %w", to, addr, err)
-	}
-	var hello [4]byte
-	binary.BigEndian.PutUint32(hello[:], uint32(t.id))
-	if _, err := c.Write(hello[:]); err != nil {
-		_ = c.Close()
-		return nil, fmt.Errorf("transport: hello to %v: %w", to, err)
-	}
-
-	pc := &peerConn{c: c}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		_ = c.Close()
-		return nil, ErrClosed
-	}
-	if existing, ok := t.conns[to]; ok {
-		// Lost a dial race; use the winner.
-		t.mu.Unlock()
-		_ = c.Close()
-		return existing, nil
-	}
-	t.conns[to] = pc
-	t.mu.Unlock()
-
-	// Outbound connections also carry replies from the peer.
-	t.wg.Add(1)
-	go t.readLoop(to, pc)
-	return pc, nil
+	return t.newPeerLocked(id), nil
 }
 
-func (t *TCP) dropConn(id crypto.NodeID, pc *peerConn) {
-	t.mu.Lock()
-	if cur, ok := t.conns[id]; ok && cur == pc {
-		delete(t.conns, id)
+// newPeerLocked creates the peer pipeline and starts its writer. Caller
+// holds t.mu and has checked t.closed.
+func (t *TCP) newPeerLocked(id crypto.NodeID) *tcpPeer {
+	q := t.SendQueue
+	if q <= 0 {
+		q = DefaultSendQueue
 	}
+	p := &tcpPeer{
+		t:      t,
+		id:     id,
+		queue:  make(chan *[]byte, q),
+		connCh: make(chan struct{}, 1),
+		flush:  make(chan struct{}, 1),
+	}
+	t.out[id] = p
+	t.wg.Add(1)
+	go p.writeLoop()
+	return p
+}
+
+// peerAddr returns the dialable address of id, if known.
+func (t *TCP) peerAddr(id crypto.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.peers[id]
+	return addr, ok
+}
+
+// track registers a conn for shutdown. It reports false (and closes the
+// conn) when the transport is already closed.
+func (t *TCP) track(c net.Conn) bool {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = c.Close()
+		return false
+	}
+	t.live[c] = struct{}{}
 	t.mu.Unlock()
-	_ = pc.c.Close()
+	return true
+}
+
+// untrack closes c and forgets it.
+func (t *TCP) untrack(c net.Conn) {
+	t.mu.Lock()
+	delete(t.live, c)
+	t.mu.Unlock()
+	_ = c.Close()
 }
 
 func (t *TCP) acceptLoop() {
@@ -220,73 +341,314 @@ func (t *TCP) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !t.track(c) {
+			return
+		}
 		t.wg.Add(1)
 		go t.handleInbound(c)
 	}
 }
 
+// handleInbound reads the hello frame, offers the connection to the peer's
+// writer (data centers dial in and expect replies on the same connection),
+// and reads frames until the connection dies. The connection is tracked in
+// t.live from accept time, so Close reaches it even while it is a duplicate
+// that never became a write path.
 func (t *TCP) handleInbound(c net.Conn) {
 	defer t.wg.Done()
 	var hello [4]byte
 	if _, err := io.ReadFull(c, hello[:]); err != nil {
-		_ = c.Close()
+		t.untrack(c)
 		return
 	}
 	from := crypto.NodeID(binary.BigEndian.Uint32(hello[:]))
 
-	// Remember the inbound connection for replies if we have no outbound
-	// connection to this peer yet; data centers dial in and expect replies
-	// on the same connection.
-	pc := &peerConn{c: c}
 	t.mu.Lock()
-	if _, ok := t.conns[from]; !ok && !t.closed {
-		t.conns[from] = pc
+	if t.closed {
+		t.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	p, ok := t.out[from]
+	if !ok {
+		p = t.newPeerLocked(from)
 	}
 	t.mu.Unlock()
+	p.offerConn(c)
 
-	t.wg.Add(1)
-	go t.readLoop(from, pc)
+	t.readLoop(p, c)
 }
 
-func (t *TCP) readLoop(from crypto.NodeID, pc *peerConn) {
-	defer t.wg.Done()
-	defer t.dropConn(from, pc)
+// readLoop delivers inbound frames to the handler until the connection
+// fails, then detaches it from the peer's write path. The bufio.Reader is
+// pooled; payload buffers are not — ownership of each frame passes to the
+// handler (decoded protocol messages alias it, see the Handler contract).
+func (t *TCP) readLoop(p *tcpPeer, c net.Conn) {
+	defer func() {
+		p.clearConn(c)
+		t.untrack(c)
+	}()
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(c)
+	defer func() {
+		br.Reset(nil)
+		readerPool.Put(br)
+	}()
 	for {
-		data, err := readFrame(pc.c)
+		data, err := readFrame(br)
 		if err != nil {
 			return
 		}
-		t.counters.AddReceived(len(data))
+		t.counters.AddReceived(frameHeaderSize + len(data))
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
 		if h != nil {
-			h(from, data)
+			h(p.id, data)
 		}
 	}
 }
 
-// peerConn pairs a connection with a write lock: a large frame may take
-// several Write syscalls, so concurrent senders must be serialized or frames
-// would interleave on the stream.
-type peerConn struct {
-	c   net.Conn
-	wmu sync.Mutex
+// tcpPeer is one peer's outbound pipeline: a bounded queue of encoded
+// frames drained by a dedicated writer goroutine over the peer's current
+// connection (dialed by the writer, or an adopted inbound one).
+type tcpPeer struct {
+	t  *TCP
+	id crypto.NodeID
+
+	queue  chan *[]byte
+	connCh chan struct{} // pings the writer when a conn is installed
+	flush  chan struct{} // pings the writer to cut a FlushInterval wait short
+
+	mu   sync.Mutex
+	conn net.Conn // current write path, nil while disconnected
 }
 
-func (p *peerConn) writeFrame(data []byte) error {
-	frame := make([]byte, 4+len(data))
-	binary.BigEndian.PutUint32(frame, uint32(len(data)))
-	copy(frame[4:], data)
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	_, err := p.c.Write(frame)
-	return err
+// enqueue adds one frame, evicting the oldest queued frames when full
+// (drop-oldest: under overload the queue always holds the freshest
+// protocol state, which is what PBFT progress needs).
+func (p *tcpPeer) enqueue(f *[]byte) {
+	for {
+		select {
+		case p.queue <- f:
+			p.t.net.Enqueued()
+			return
+		default:
+		}
+		select {
+		case old := <-p.queue:
+			p.t.net.Dequeued(1)
+			p.t.net.AddDrop()
+			releaseFrame(old)
+		default:
+			// The writer drained the queue between our two selects; retry.
+		}
+	}
 }
 
-func readFrame(c net.Conn) ([]byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+// offerConn installs c as the write path if the peer has none; otherwise c
+// stays read-only (the duplicate-connection case: both sides dialed).
+func (p *tcpPeer) offerConn(c net.Conn) {
+	p.mu.Lock()
+	if p.conn == nil {
+		p.conn = c
+	}
+	p.mu.Unlock()
+	select {
+	case p.connCh <- struct{}{}:
+	default:
+	}
+}
+
+// clearConn detaches c if it is the current write path (a reader noticed the
+// connection die before the writer did).
+func (p *tcpPeer) clearConn(c net.Conn) {
+	p.mu.Lock()
+	if p.conn == c {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+}
+
+func (p *tcpPeer) currentConn() net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn
+}
+
+// writeLoop drains the queue over whatever connection is current, dialing
+// in the background with capped exponential backoff when there is none.
+func (p *tcpPeer) writeLoop() {
+	defer p.t.wg.Done()
+	var batch []*[]byte
+	var bufs net.Buffers
+	for {
+		// Block for the first frame of the next flush.
+		var first *[]byte
+		select {
+		case <-p.t.closing:
+			return
+		case first = <-p.queue:
+		}
+
+		// Opportunistically coalesce everything already queued, then (with
+		// a FlushInterval) linger for stragglers before paying the syscall.
+		batch = append(batch[:0], first)
+		size := len(*first)
+		batch, size = p.drain(batch, size)
+		if iv := p.t.FlushInterval; iv > 0 && len(batch) < maxCoalesceFrames && size < maxCoalesceBytes {
+			batch, size = p.linger(batch, size, iv)
+		}
+
+		c := p.ensureConn()
+		if c == nil {
+			// Transport closing: the batch is lost (at-most-once).
+			p.release(batch)
+			return
+		}
+
+		bufs = bufs[:0]
+		for _, f := range batch {
+			bufs = append(bufs, *f)
+		}
+		// WriteTo consumes its receiver, so hand it a copy of the slice
+		// header and keep bufs' backing array for the next flush.
+		nb := bufs
+		_, err := nb.WriteTo(c)
+		if err == nil {
+			p.t.net.AddWrite(len(batch))
+			for _, f := range batch {
+				p.t.counters.AddSent(len(*f))
+			}
+		} else {
+			// Wire loss, not overflow: PBFT's retransmit/view-change
+			// machinery recovers. Detach the conn; next loop redials.
+			p.t.net.AddWriteError(len(batch))
+			p.clearConn(c)
+			p.t.untrack(c)
+		}
+		p.release(batch)
+	}
+}
+
+// drain moves every immediately available frame into batch, up to the
+// coalescing caps.
+func (p *tcpPeer) drain(batch []*[]byte, size int) ([]*[]byte, int) {
+	for len(batch) < maxCoalesceFrames && size < maxCoalesceBytes {
+		select {
+		case f := <-p.queue:
+			batch = append(batch, f)
+			size += len(*f)
+		default:
+			return batch, size
+		}
+	}
+	return batch, size
+}
+
+// linger waits up to iv for more frames before flushing a small batch,
+// cut short by Flush or shutdown.
+func (p *tcpPeer) linger(batch []*[]byte, size int, iv time.Duration) ([]*[]byte, int) {
+	timer := time.NewTimer(iv)
+	defer timer.Stop()
+	for len(batch) < maxCoalesceFrames && size < maxCoalesceBytes {
+		select {
+		case f := <-p.queue:
+			batch = append(batch, f)
+			size += len(*f)
+			batch, size = p.drain(batch, size)
+		case <-timer.C:
+			return batch, size
+		case <-p.flush:
+			return batch, size
+		case <-p.t.closing:
+			return batch, size
+		}
+	}
+	return batch, size
+}
+
+// release returns batch frames to the pool and settles the depth counter.
+func (p *tcpPeer) release(batch []*[]byte) {
+	p.t.net.Dequeued(len(batch))
+	for _, f := range batch {
+		releaseFrame(f)
+	}
+}
+
+// ensureConn returns the current connection, dialing with backoff until one
+// exists. For peers with no dialable address it waits for an inbound
+// connection to be adopted. Returns nil only when the transport closes.
+func (p *tcpPeer) ensureConn() net.Conn {
+	backoff := redialBackoffMin
+	for attempt := 0; ; attempt++ {
+		if c := p.currentConn(); c != nil {
+			return c
+		}
+		select {
+		case <-p.t.closing:
+			return nil
+		default:
+		}
+		addr, ok := p.t.peerAddr(p.id)
+		if !ok {
+			// No address: replies ride an inbound connection only.
+			select {
+			case <-p.t.closing:
+				return nil
+			case <-p.connCh:
+			}
+			continue
+		}
+		if attempt > 0 {
+			p.t.net.AddRedial()
+		}
+		c, err := net.DialTimeout("tcp", addr, p.t.DialTimeout)
+		if err == nil {
+			var hello [4]byte
+			binary.BigEndian.PutUint32(hello[:], uint32(p.t.id))
+			if _, err = c.Write(hello[:]); err != nil {
+				_ = c.Close()
+			}
+		}
+		if err != nil {
+			// Capped exponential backoff; an adopted inbound connection or
+			// shutdown cuts the wait short.
+			select {
+			case <-p.t.closing:
+				return nil
+			case <-p.connCh:
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > redialBackoffMax {
+				backoff = redialBackoffMax
+			}
+			continue
+		}
+		if !p.t.track(c) {
+			return nil
+		}
+		// Install as write path unless an inbound conn won the race; the
+		// dialed conn still carries replies either way.
+		p.mu.Lock()
+		if p.conn == nil {
+			p.conn = c
+		}
+		p.mu.Unlock()
+		p.t.wg.Add(1)
+		go func() {
+			defer p.t.wg.Done()
+			p.t.readLoop(p, c)
+		}()
+	}
+}
+
+// readFrame reads one length-prefixed frame. The returned payload is freshly
+// allocated: ownership passes to the caller (and on to the handler).
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var lenBuf [frameHeaderSize]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
@@ -294,7 +656,7 @@ func readFrame(c net.Conn) ([]byte, error) {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
 	data := make([]byte, n)
-	if _, err := io.ReadFull(c, data); err != nil {
+	if _, err := io.ReadFull(br, data); err != nil {
 		return nil, err
 	}
 	return data, nil

@@ -25,24 +25,45 @@ var ErrClosed = errors.New("transport: closed")
 // ErrUnknownPeer is returned when sending to an unregistered node.
 var ErrUnknownPeer = errors.New("transport: unknown peer")
 
-// Handler consumes an inbound message. Implementations must not retain data
-// beyond the call unless they copy it. Handlers are invoked sequentially per
-// endpoint.
+// Handler consumes an inbound message. Ownership of data passes to the
+// handler: every transport delivers each message in freshly allocated
+// storage and never touches it again, so handlers (and the decoded protocol
+// messages that alias data, see wire.Decoder.Bytes) may retain it
+// indefinitely. Handlers are invoked sequentially per connection; a node
+// with several connections to the same peer may see concurrent invocations.
 type Handler func(from crypto.NodeID, data []byte)
 
 // Transport sends encoded messages to peers and delivers inbound messages to
 // a handler.
+//
+// Sends are asynchronous and non-blocking: Send and Broadcast hand the
+// message to a bounded outbound queue and return without waiting for
+// connection establishment, remote reads, or even local write syscalls. A
+// slow, dead, or unreachable peer therefore never stalls the caller — its
+// queue fills and the transport drops the oldest queued messages. This
+// at-most-once behaviour is safe for ZugChain because every protocol layer
+// above already tolerates loss: PBFT retransmits via its timeout/view-change
+// machinery, and the communication layer re-broadcasts open requests.
 type Transport interface {
 	// LocalID returns the ID this transport sends as.
 	LocalID() crypto.NodeID
 	// Send transmits data to a single peer. Delivery is best-effort:
-	// a nil error does not guarantee receipt (links may drop).
+	// a nil error means queued, not delivered (links and queues may drop).
+	// The caller may reuse data as soon as Send returns.
 	Send(to crypto.NodeID, data []byte) error
 	// Broadcast transmits data to every known peer except the local node.
+	// Each peer has its own queue; per-peer failures are isolated.
 	Broadcast(data []byte) error
 	// SetHandler installs the inbound delivery callback. It must be called
 	// before any messages arrive.
 	SetHandler(h Handler)
 	// Close releases resources and stops delivery.
 	Close() error
+}
+
+// Flusher is optionally implemented by transports that buffer or delay
+// outbound writes (TCP with a positive FlushInterval). Flush pushes all
+// buffered frames toward the wire immediately; it does not wait for them.
+type Flusher interface {
+	Flush()
 }

@@ -11,15 +11,19 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: vet, build, race-test the consensus, crypto,
-# ordering, persistence, and transport packages, and smoke-run the
-# verification, batching, and transport benchmarks once so a broken
-# benchmark cannot rot unnoticed.
+# ordering, persistence, and transport packages, race-test WAL durability
+# and crash-restart recovery plus a chaos crash/partition smoke, fuzz the
+# WAL decoder briefly, and smoke-run the verification, batching, and
+# transport benchmarks once so a broken benchmark cannot rot unnoticed.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/pbft/... ./internal/crypto/...
 	$(GO) test -race ./internal/core ./internal/blockchain
 	$(GO) test -race ./internal/transport
+	$(GO) test -race ./internal/wal ./internal/node
+	$(GO) test -race -run 'TestChaos' ./internal/testbed
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -bench Verify -benchtime 1x ./internal/crypto/... ./internal/pbft/...
 	$(GO) test -run '^$$' -bench Transport -benchtime 1x ./internal/transport
 	$(GO) test -run '^$$' -bench 'StoreAppend|OrderingThroughput' -benchtime 1x .

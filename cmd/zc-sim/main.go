@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"zugchain/internal/blockchain"
@@ -46,6 +47,15 @@ func run() error {
 		batchSize  = flag.Int("batch-size", 16, "max records coalesced per proposal (1 = no batching)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "max wait before a partial batch is flushed")
 		sendQueue  = flag.Int("send-queue", 4096, "per-endpoint inbox capacity (messages dropped when full)")
+
+		dataRoot     = flag.String("datadir", "", "per-replica data root (empty = memory, no WAL)")
+		netDrop      = flag.Float64("net-drop", 0, "consensus transport drop probability")
+		netDelay     = flag.Float64("net-delay", 0, "consensus transport delay probability")
+		netDelayMax  = flag.Duration("net-delay-max", 5*time.Millisecond, "max injected transport delay")
+		netDup       = flag.Float64("net-dup", 0, "consensus transport duplicate probability")
+		killNode     = flag.Int("kill", -1, "replica to crash mid-run (-1 = none)")
+		killAfter    = flag.Duration("kill-after", 10*time.Second, "when to crash the -kill replica")
+		restartAfter = flag.Duration("restart-after", 20*time.Second, "when to restart it from its data dir (0 = never)")
 	)
 	flag.Parse()
 
@@ -74,31 +84,66 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 
-	var nodes []*node.Node
-	for _, id := range ids {
+	faults := transport.FaultConfig{
+		DropRate:      *netDrop,
+		DelayRate:     *netDelay,
+		MaxDelay:      *netDelayMax,
+		DuplicateRate: *netDup,
+	}
+	chaosNet := *netDrop > 0 || *netDelay > 0 || *netDup > 0
+
+	nodes := make([]*node.Node, len(ids))
+	busCancels := make([]context.CancelFunc, len(ids))
+	incarnation := make([]int64, len(ids))
+	startNode := func(i int) error {
+		id := ids[i]
+		var dir string
+		if *dataRoot != "" {
+			dir = filepath.Join(*dataRoot, fmt.Sprintf("replica-%d", i))
+		}
+		tr := transport.Transport(net.Endpoint(id))
+		if chaosNet {
+			tr = transport.NewFaulty(tr, ids, faults, *seed+int64(id)+incarnation[i]*100)
+		}
 		n, err := node.New(node.Config{
 			ID:            id,
 			Replicas:      ids,
 			DataCenters:   []crypto.NodeID{dcID},
 			DeleteQuorum:  1,
+			DataDir:       dir,
 			MaxBatch:      *batchSize,
 			MaxBatchDelay: *batchDelay,
-		}, kps[id], reg, net.Endpoint(id), clock.Real{})
+		}, kps[id], reg, tr, clock.Real{})
 		if err != nil {
 			return err
+		}
+		if rec := n.Recovery(); rec.WALRecords > 0 || rec.StoreReport.Loaded > 0 {
+			log.Printf("replica %d recovered: %d blocks, %d WAL records, view=%d seq=%d",
+				i, rec.StoreReport.Loaded, rec.WALRecords, rec.RestoredView, rec.RestoredSeq)
 		}
 		reader := bus.NewReader(mvb.FaultConfig{
 			DropRate:    *busDrop,
 			BitFlipRate: *busFlip,
-		}, *seed+int64(id))
+		}, *seed+int64(id)+incarnation[i]*1000)
+		incarnation[i]++
+		busCtx, busCancel := context.WithCancel(ctx)
 		n.Start()
-		n.RunBus(ctx, reader)
-		nodes = append(nodes, n)
+		n.RunBus(busCtx, reader)
+		nodes[i] = n
+		busCancels[i] = busCancel
+		return nil
+	}
+	for i := range ids {
+		if err := startNode(i); err != nil {
+			return err
+		}
 	}
 	defer func() {
 		cancel()
 		for _, n := range nodes {
-			n.Stop()
+			if n != nil {
+				n.Stop()
+			}
 		}
 	}()
 	go bus.Run(ctx, clock.Real{})
@@ -128,14 +173,43 @@ func run() error {
 		defer exportTicker.Stop()
 		exportCh = exportTicker.C
 	}
+	var killCh, restartCh <-chan time.Time
+	if *killNode >= 0 && *killNode < len(ids) {
+		killTimer := time.NewTimer(*killAfter)
+		defer killTimer.Stop()
+		killCh = killTimer.C
+		if *restartAfter > 0 {
+			restartTimer := time.NewTimer(*restartAfter)
+			defer restartTimer.Stop()
+			restartCh = restartTimer.C
+		}
+	}
 
 	for {
 		select {
 		case <-ctx.Done():
 			printSummary(nodes, dc)
 			return nil
+		case <-killCh:
+			i := *killNode
+			log.Printf("replica %d: crashing", i)
+			busCancels[i]()
+			nodes[i].Stop()
+			nodes[i] = nil
+		case <-restartCh:
+			i := *killNode
+			if nodes[i] != nil {
+				continue
+			}
+			log.Printf("replica %d: restarting", i)
+			if err := startNode(i); err != nil {
+				return fmt.Errorf("restart replica %d: %w", i, err)
+			}
 		case <-statTicker.C:
 			n := nodes[0]
+			if n == nil {
+				continue
+			}
 			lat := n.Layer().Latency().Stats()
 			log.Printf("height=%d base=%d ordered=%d dup-filtered=%d lat(med)=%v",
 				n.Store().HeadIndex(), n.Store().Base(),
@@ -170,7 +244,9 @@ func runExport(ctx context.Context, dc *export.DataCenter) {
 func totalDuplicates(nodes []*node.Node) uint64 {
 	var total uint64
 	for _, n := range nodes {
-		total += n.Layer().Counters().Snapshot().Duplicates
+		if n != nil {
+			total += n.Layer().Counters().Snapshot().Duplicates
+		}
 	}
 	return total
 }
@@ -178,6 +254,10 @@ func totalDuplicates(nodes []*node.Node) uint64 {
 func printSummary(nodes []*node.Node, dc *export.DataCenter) {
 	fmt.Println("\n=== summary ===")
 	for i, n := range nodes {
+		if n == nil {
+			fmt.Printf("replica %d: down\n", i)
+			continue
+		}
 		store := n.Store()
 		status := "chain OK"
 		if err := store.VerifyChain(); err != nil {

@@ -51,6 +51,8 @@ func run() error {
 		listen      = flag.String("listen", ":7100", "consensus listen address")
 		peersFlag   = flag.String("peers", "", "comma-separated id=host:port for all replicas")
 		dataDir     = flag.String("datadir", "", "blockchain directory (empty = memory)")
+		walDir      = flag.String("wal-dir", "", "consensus WAL directory (empty = <datadir>/wal)")
+		noWAL       = flag.Bool("no-wal", false, "disable the consensus WAL (no crash-restart protocol recovery)")
 		blockSize   = flag.Uint64("blocksize", 10, "requests per block/checkpoint")
 		busCycle    = flag.Duration("bus-cycle", 64*time.Millisecond, "simulated MVB cycle time")
 		payload     = flag.Int("payload", 0, "pad records to this size (0 = raw signals)")
@@ -96,12 +98,30 @@ func run() error {
 		Replicas:      kr.ReplicaIDs(),
 		BlockSize:     *blockSize,
 		DataDir:       *dataDir,
+		WALDir:        *walDir,
+		DisableWAL:    *noWAL,
 		DataCenters:   kr.DataCenterIDs(),
 		MaxBatch:      *batchSize,
 		MaxBatchDelay: *batchDelay,
 	}, kp, reg, tr, clock.Real{})
 	if err != nil {
 		return err
+	}
+	if rec := n.Recovery(); rec.WALRecords > 0 || rec.StoreReport.Loaded > 0 {
+		log.Printf("recovered: %d blocks, %d WAL records, view=%d seq=%d, %d dedup entries restored",
+			rec.StoreReport.Loaded, rec.WALRecords, rec.RestoredView, rec.RestoredSeq, rec.WindowRestored)
+		if rec.StoreReport.Truncated() {
+			log.Printf("store recovery dropped a damaged tail: %d blocks beyond a gap, %d undecodable files",
+				rec.StoreReport.DiscardedTail, rec.StoreReport.CorruptTail)
+		}
+		if rec.WALReport.Truncated() {
+			log.Printf("WAL recovery dropped a damaged tail: %d bytes, %d whole segments",
+				rec.WALReport.TruncatedBytes, rec.WALReport.TruncatedSegments)
+		}
+		if rec.PendingTransfer > 0 {
+			log.Printf("stable checkpoint ahead of local chain: state transfer to block %d scheduled",
+				rec.PendingTransfer)
+		}
 	}
 	n.Start()
 	defer n.Stop()

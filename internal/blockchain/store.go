@@ -50,7 +50,8 @@ type Store struct {
 	// rather than silently diverge from its own persistence.
 	failed error
 
-	gc metrics.GroupCommitCounters
+	gc       metrics.GroupCommitCounters
+	recovery RecoveryReport
 
 	// Group-commit writer (dir != ""). writeCh is deliberately unbuffered:
 	// a send succeeds only when the writer (or the Close drain) receives
@@ -95,13 +96,36 @@ func NewStore(dir string) (*Store, error) {
 	return s, nil
 }
 
+// RecoveryReport describes what load found on disk: how many blocks made
+// the durable prefix and how many tail files a crash left unusable. The
+// node surfaces it at startup — data loss after a crash must be visible,
+// not silent.
+type RecoveryReport struct {
+	// Loaded counts blocks restored into the durable chain prefix.
+	Loaded int
+	// DiscardedTail counts decodable blocks dropped because they sat
+	// beyond a gap in the index sequence (a crash between a write group's
+	// renames and its directory fsync).
+	DiscardedTail int
+	// CorruptTail counts undecodable tail files ignored.
+	CorruptTail int
+}
+
+// Truncated reports whether recovery discarded anything.
+func (r RecoveryReport) Truncated() bool {
+	return r.DiscardedTail > 0 || r.CorruptTail > 0
+}
+
+// Recovery returns what load found when the store was opened.
+func (s *Store) Recovery() RecoveryReport { return s.recovery }
+
 // load reads persisted blocks back into memory.
 func (s *Store) load() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("blockchain: read store dir: %w", err)
 	}
-	var indices []uint64
+	var indices, corrupt []uint64
 	for _, ent := range entries {
 		name := ent.Name()
 		if !strings.HasPrefix(name, "block-") || !strings.HasSuffix(name, ".zc") {
@@ -117,19 +141,30 @@ func (s *Store) load() error {
 			return fmt.Errorf("blockchain: read %s: %w", name, err)
 		}
 		b, err := Unmarshal(data)
-		if err != nil {
-			return fmt.Errorf("blockchain: corrupt %s: %w", name, err)
-		}
-		if b.Index != idx {
-			return fmt.Errorf("blockchain: %s contains block %d", name, b.Index)
+		if err != nil || b.Index != idx {
+			// An undecodable file at the chain tail is the expected residue
+			// of a crash mid-write and is recoverable (the quorum re-serves
+			// the block); the same damage below a valid block means the
+			// durable prefix itself is broken, which only state transfer
+			// from scratch could fix — refuse to open.
+			corrupt = append(corrupt, idx)
+			continue
 		}
 		s.blocks[idx] = b
 		indices = append(indices, idx)
 	}
 	if len(indices) == 0 {
+		s.recovery.CorruptTail = len(corrupt)
 		return nil
 	}
 	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+	maxValid := indices[len(indices)-1]
+	for _, idx := range corrupt {
+		if idx < maxValid {
+			return fmt.Errorf("blockchain: corrupt block file for index %d amid valid blocks", idx)
+		}
+	}
+	s.recovery.CorruptTail = len(corrupt)
 	// Keep only the contiguous run from the lowest index: a crash between a
 	// write group's renames and its directory fsync can, in principle,
 	// leave a gap, and blocks beyond a gap are not part of the durable
@@ -144,8 +179,10 @@ func (s *Store) load() error {
 	for _, idx := range indices {
 		if idx > head {
 			delete(s.blocks, idx)
+			s.recovery.DiscardedTail++
 		}
 	}
+	s.recovery.Loaded = len(indices) - s.recovery.DiscardedTail
 	s.head = head
 	if min := indices[0]; min > 1 {
 		s.base = min

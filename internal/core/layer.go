@@ -99,7 +99,7 @@ func (c *Config) applyDefaults() {
 		c.MaxOpenPerOrigin = 64
 	}
 	if c.WindowSeqs == 0 {
-		c.WindowSeqs = 100
+		c.WindowSeqs = DefaultWindowSeqs
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1
@@ -111,6 +111,11 @@ func (c *Config) applyDefaults() {
 		c.MaxBatchDelay = 2 * time.Millisecond
 	}
 }
+
+// DefaultWindowSeqs is the default dedup-window width in sequence numbers.
+// Exported so the node's crash-recovery path can reconstruct the effective
+// width when rebuilding the window from chain blocks.
+const DefaultWindowSeqs = 100
 
 // timerPhase identifies which Algorithm 1 timer is armed for a request.
 type timerPhase uint8
@@ -209,6 +214,53 @@ func (l *Layer) OpenRequests() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.open)
+}
+
+// WindowEntry is one dedup-window entry: payload digest Digest was decided
+// at sequence Seq. Used by the node's crash-recovery path to checkpoint and
+// restore the window.
+type WindowEntry struct {
+	Digest crypto.Digest
+	Seq    uint64
+}
+
+// WindowSnapshot returns the dedup-window entries with Seq <= maxSeq (all
+// entries when maxSeq is 0), in decide order. The node persists this
+// alongside a stable checkpoint: entries at or below the checkpoint cannot
+// be re-derived by PBFT re-execution after a restart, so without them a
+// restarted replica would re-LOG payloads it already logged.
+func (l *Layer) WindowSnapshot(maxSeq uint64) []WindowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]WindowEntry, 0, len(l.decided.order))
+	for _, e := range l.decided.order {
+		if maxSeq != 0 && e.seq > maxSeq {
+			continue
+		}
+		if cur, ok := l.decided.entries[e.digest]; !ok || cur != e.seq {
+			continue // superseded by a later re-log of the same payload
+		}
+		out = append(out, WindowEntry{Digest: e.digest, Seq: e.seq})
+	}
+	return out
+}
+
+// RestoreWindow seeds the dedup window from entries whose payloads are
+// already durably logged: WAL/chain recovery at startup, and installed
+// state-transfer blocks mid-run. Entries should be sorted by Seq.
+func (l *Layer) RestoreWindow(entries []WindowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		l.decided.add(e.Digest, e.Seq)
+	}
+}
+
+// WindowLen reports the number of digests currently in the dedup window.
+func (l *Layer) WindowLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.decided.len()
 }
 
 // Close stops all timers. The layer must not be used afterwards.

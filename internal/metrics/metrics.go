@@ -411,6 +411,80 @@ func (n *NetCounters) Snapshot() NetSnapshot {
 	return s
 }
 
+// WALCounters instruments the PBFT write-ahead log: how many fsync'd append
+// groups ran and how many records/bytes they carried (the group-commit
+// amortization of the durability cost), plus checkpoint rotations and what
+// recovery found on open. Safe for concurrent use; the zero value is ready
+// to use.
+type WALCounters struct {
+	groups         atomic.Uint64
+	records        atomic.Uint64
+	bytes          atomic.Uint64
+	rotations      atomic.Uint64
+	replayed       atomic.Uint64
+	truncatedBytes atomic.Uint64
+	maxGroup       atomic.Int64
+}
+
+// RecordGroup records one fsync'd append group of n records totalling b
+// payload bytes.
+func (w *WALCounters) RecordGroup(n, b int) {
+	w.groups.Add(1)
+	w.records.Add(uint64(n))
+	w.bytes.Add(uint64(b))
+	v := int64(n)
+	for {
+		cur := w.maxGroup.Load()
+		if v <= cur || w.maxGroup.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// AddRotation records one checkpoint-triggered segment rotation.
+func (w *WALCounters) AddRotation() { w.rotations.Add(1) }
+
+// RecordReplay records what recovery found on open: n replayed records and
+// b corrupt tail bytes discarded.
+func (w *WALCounters) RecordReplay(n int, b int64) {
+	w.replayed.Add(uint64(n))
+	w.truncatedBytes.Add(uint64(b))
+}
+
+// WALSnapshot is a point-in-time copy of WALCounters.
+type WALSnapshot struct {
+	// Groups counts fsync'd append groups; Records and Bytes what they
+	// carried. MeanGroup = Records/Groups is the group-commit amortization.
+	Groups    uint64
+	Records   uint64
+	Bytes     uint64
+	MaxGroup  int64
+	MeanGroup float64
+	// Rotations counts checkpoint-triggered segment rotations.
+	Rotations uint64
+	// Replayed counts records restored on open; TruncatedBytes the corrupt
+	// tail bytes recovery discarded.
+	Replayed       uint64
+	TruncatedBytes uint64
+}
+
+// Snapshot returns the current WAL counter values.
+func (w *WALCounters) Snapshot() WALSnapshot {
+	s := WALSnapshot{
+		Groups:         w.groups.Load(),
+		Records:        w.records.Load(),
+		Bytes:          w.bytes.Load(),
+		MaxGroup:       w.maxGroup.Load(),
+		Rotations:      w.rotations.Load(),
+		Replayed:       w.replayed.Load(),
+		TruncatedBytes: w.truncatedBytes.Load(),
+	}
+	if s.Groups > 0 {
+		s.MeanGroup = float64(s.Records) / float64(s.Groups)
+	}
+	return s
+}
+
 // Latency accumulates duration samples and reports distribution statistics.
 // It is safe for concurrent use.
 type Latency struct {

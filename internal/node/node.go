@@ -8,6 +8,7 @@ package node
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"zugchain/internal/pbft"
 	"zugchain/internal/signal"
 	"zugchain/internal/transport"
+	"zugchain/internal/wal"
 )
 
 // Wire tag ranges carved out of the shared transport by the mux.
@@ -66,6 +68,35 @@ type Config struct {
 	MaxBatch int
 	// MaxBatchDelay bounds the wait before a partial batch is flushed.
 	MaxBatchDelay time.Duration
+	// WALDir, when set, persists PBFT protocol state (views, phase votes,
+	// checkpoint proofs, the dedup window) to a write-ahead log so a
+	// crashed replica restarts without equivocating. Defaults to
+	// DataDir/wal when DataDir is set.
+	WALDir string
+	// DisableWAL turns the write-ahead log off even when DataDir is set
+	// (for simulations that trade durability for speed).
+	DisableWAL bool
+	// StateRetryInterval is the base backoff between state-transfer
+	// retry rounds (doubling up to 16x); default 100ms.
+	StateRetryInterval time.Duration
+	// StateRetryRounds bounds how many consecutive no-progress retry
+	// rounds the fetcher attempts before parking (a later divergence
+	// event re-arms it); default 10.
+	StateRetryRounds int
+}
+
+// walDir returns the effective WAL directory, empty when disabled.
+func (c *Config) walDir() string {
+	if c.DisableWAL {
+		return ""
+	}
+	if c.WALDir != "" {
+		return c.WALDir
+	}
+	if c.DataDir != "" {
+		return filepath.Join(c.DataDir, "wal")
+	}
+	return ""
 }
 
 func (c *Config) applyDefaults() {
@@ -84,6 +115,12 @@ func (c *Config) applyDefaults() {
 	if c.DeleteQuorum <= 0 {
 		c.DeleteQuorum = 1
 	}
+	if c.StateRetryInterval <= 0 {
+		c.StateRetryInterval = 100 * time.Millisecond
+	}
+	if c.StateRetryRounds <= 0 {
+		c.StateRetryRounds = 10
+	}
 }
 
 // Node is one ZugChain replica.
@@ -95,15 +132,27 @@ type Node struct {
 
 	mux    *transport.Mux
 	pool   *crypto.VerifyPool
+	engine *pbft.Engine
 	runner *pbft.Runner
 	layer  *core.Layer
 	store  *blockchain.Store
 	srv    *export.Server
+	wlog   *wal.Log
+
+	recovery RecoveryInfo
 
 	mu      sync.Mutex
 	filters map[int]*signal.Filter // per input source (§III-C)
 	builder *blockchain.Builder
 
+	// State-transfer retry machinery (see fetchLoop): fetchTarget is the
+	// block index the chain must reach; fetchActive whether a retry loop
+	// is running.
+	fetchMu     sync.Mutex
+	fetchTarget uint64
+	fetchActive bool
+
+	quit    chan struct{}
 	busWG   sync.WaitGroup
 	stopped sync.Once
 }
@@ -124,8 +173,19 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 		clk:     clk,
 		store:   store,
 		filters: make(map[int]*signal.Filter),
+		quit:    make(chan struct{}),
 	}
+	n.recovery.StoreReport = store.Recovery()
 	n.builder = blockchain.NewBuilder(store.Head(), 1<<30 /* seal at checkpoints, not by count */)
+
+	var walRecs []wal.Record
+	if dir := cfg.walDir(); dir != "" {
+		n.wlog, walRecs, n.recovery.WALReport, err = wal.Open(dir)
+		if err != nil {
+			_ = store.Close()
+			return nil, fmt.Errorf("node: open wal: %w", err)
+		}
+	}
 
 	n.mux = transport.NewMux(tr)
 	pbftChan := n.mux.Channel(pbftTagLo, pbftTagHi)
@@ -138,17 +198,28 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 		CheckpointInterval: cfg.BlockSize,
 	}, kp, reg)
 	if err != nil {
+		if n.wlog != nil {
+			_ = n.wlog.Close()
+		}
+		_ = store.Close()
 		return nil, err
 	}
+	n.engine = engine
+	windowEntries := n.restoreFromWAL(engine, walRecs)
+
 	// One verification pipeline per node, shared by the PBFT runner and
 	// the communication layer: all inbound Ed25519 checks run on its
 	// workers, keeping both the consensus event loop and the transport
 	// delivery goroutines free of crypto (Fig 7's dominant CPU cost).
 	n.pool = crypto.NewVerifyPool(0)
-	n.runner = pbft.NewRunner(engine, pbftChan, clk, (*pbftApp)(n), pbft.RunnerConfig{
+	runnerCfg := pbft.RunnerConfig{
 		BaseViewTimeout: cfg.ViewTimeout,
 		VerifyPool:      n.pool,
-	})
+	}
+	if n.wlog != nil {
+		runnerCfg.Persister = walPersister{n.wlog}
+	}
+	n.runner = pbft.NewRunner(engine, pbftChan, clk, (*pbftApp)(n), runnerCfg)
 
 	n.layer = core.New(core.Config{
 		ID:               cfg.ID,
@@ -161,6 +232,11 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 		MaxBatchDelay:    cfg.MaxBatchDelay,
 	}, kp, reg, n.runner, coreChan, clk, (*chainRecorder)(n))
 
+	if len(windowEntries) > 0 {
+		n.layer.RestoreWindow(windowEntries)
+		n.recovery.WindowRestored = n.layer.WindowLen()
+	}
+
 	n.srv = export.NewServer(export.ServerConfig{
 		ID:                 cfg.ID,
 		CheckpointInterval: cfg.BlockSize,
@@ -172,19 +248,30 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 	return n, nil
 }
 
-// Start launches the consensus runner.
-func (n *Node) Start() { n.runner.Start() }
+// Start launches the consensus runner and, when recovery found the quorum
+// certified a checkpoint beyond the local chain, the state-transfer fetcher
+// that rejoins via the existing transfer path.
+func (n *Node) Start() {
+	n.runner.Start()
+	if t := n.recovery.PendingTransfer; t > n.store.HeadIndex() {
+		n.ensureStateFetch(t)
+	}
+}
 
 // Stop shuts down the node. The verify pool closes last: in-flight
 // verification tasks may still try to enqueue into the runner or layer,
-// whose closed-checks make that a safe no-op. The store closes after the
-// bus drains, once nothing can append anymore.
+// whose closed-checks make that a safe no-op. The store and WAL close after
+// the bus drains, once nothing can append anymore.
 func (n *Node) Stop() {
 	n.stopped.Do(func() {
+		close(n.quit)
 		n.layer.Close()
 		n.runner.Stop()
 		n.pool.Close()
 		n.busWG.Wait()
+		if n.wlog != nil {
+			_ = n.wlog.Close()
+		}
 		_ = n.store.Close()
 	})
 }
@@ -311,7 +398,40 @@ func (a *pbftApp) Deliver(seq uint64, req pbft.Request) {
 // checkpoint and persist it; its hash is the checkpoint state digest.
 func (a *pbftApp) CheckpointDigest(seq uint64) crypto.Digest {
 	n := (*Node)(a)
+	// A state transfer may have installed this checkpoint's block already
+	// (local execution racing the transferred run): sealing again would mint
+	// a block at the wrong index. One block per checkpoint since genesis,
+	// so the checkpoint's block index is seq over the block size.
+	idx := seq / n.cfg.BlockSize
+	if idx <= n.store.HeadIndex() {
+		if b, err := n.store.Get(idx); err == nil {
+			head := n.store.Head()
+			n.mu.Lock()
+			if n.builder.NextIndex() <= head.Header.Index {
+				retained := n.builder.PendingEntries()
+				n.builder.ResetTo(head)
+				for _, e := range retained {
+					if e.Seq > head.Header.LastSeq {
+						n.builder.Add(e)
+					}
+				}
+			}
+			n.mu.Unlock()
+			return b.Hash()
+		}
+	}
 	n.mu.Lock()
+	if n.builder.NextIndex() < idx {
+		// The executed watermark jumped past slots this replica never
+		// delivered (stable-checkpoint catch-up) and the transfer filling
+		// the gap has not landed: sealing now would mint this block at the
+		// wrong index and silently fork the chain. Keep the entries pending,
+		// report a divergent digest, and let the checkpoint exchange drive
+		// state transfer until the chain catches a boundary again.
+		n.mu.Unlock()
+		n.ensureStateFetch(idx)
+		return crypto.Hash([]byte(fmt.Sprintf("gap-%d", seq)))
+	}
 	block := n.builder.SealCheckpoint(seq)
 	n.mu.Unlock()
 	if err := n.store.Append(block); err != nil {
@@ -329,9 +449,15 @@ func (a *pbftApp) OnPrePrepared(seq uint64, payloadDigest crypto.Digest) {
 	(*Node)(a).layer.OnPrePrepared(payloadDigest)
 }
 
-// StableCheckpoint implements pbft.Application.
+// StableCheckpoint implements pbft.Application. Besides notifying the
+// export server, a stable checkpoint is the WAL's truncation point: every
+// pinned vote at or below it is re-certified by the quorum's signatures, so
+// the log rotates down to a compact snapshot (view state, the proof itself,
+// and the dedup-window entries the chain cannot re-derive).
 func (a *pbftApp) StableCheckpoint(proof pbft.CheckpointProof) {
-	(*Node)(a).srv.OnStableCheckpoint(proof)
+	n := (*Node)(a)
+	n.rotateWAL(proof)
+	n.srv.OnStableCheckpoint(proof)
 }
 
 // NewPrimary implements pbft.Application.
@@ -340,14 +466,13 @@ func (a *pbftApp) NewPrimary(view uint64, primary crypto.NodeID) {
 }
 
 // StateTransferNeeded implements pbft.Application: fetch the authoritative
-// blocks from peers (export error (ii)).
+// blocks from peers (export error (ii)). The actual requests are issued by
+// the retrying fetcher — a single fire-and-forget round over a drop-oldest
+// transport would strand this replica until the next divergence event if
+// one frame were lost.
 func (a *pbftApp) StateTransferNeeded(seq uint64, digest crypto.Digest) {
 	n := (*Node)(a)
-	for _, peer := range n.cfg.Replicas {
-		if peer != n.cfg.ID {
-			n.srv.RequestStateTransfer(peer, n.store.HeadIndex()+1)
-		}
-	}
+	n.ensureStateFetch(n.targetBlockIndex(seq))
 	_ = digest // the installed blocks are verified by hash linkage
 }
 
@@ -373,7 +498,29 @@ func (n *Node) onStateReply(reply *export.StateReply) {
 	if err := n.store.AppendBatch(run); err != nil {
 		return
 	}
+
+	// The transfer runs while consensus keeps deciding: slots beyond the
+	// transferred range may already sit in the builder and must survive the
+	// rebase, and the installed entries must enter the dedup window — they
+	// were logged by the quorum, so deciding their payloads again (e.g. a
+	// hard-timeout rebroadcast racing the transfer) must filter, not
+	// double-LOG.
+	head := n.store.Head()
 	n.mu.Lock()
-	n.builder.ResetTo(n.store.Head())
+	retained := n.builder.PendingEntries()
+	n.builder.ResetTo(head)
+	for _, e := range retained {
+		if e.Seq > head.Header.LastSeq {
+			n.builder.Add(e)
+		}
+	}
 	n.mu.Unlock()
+
+	var entries []core.WindowEntry
+	for _, b := range run {
+		for _, e := range b.Entries {
+			entries = append(entries, core.WindowEntry{Digest: crypto.Hash(e.Payload), Seq: e.Seq})
+		}
+	}
+	n.layer.RestoreWindow(entries)
 }

@@ -82,12 +82,30 @@ type Engine struct {
 	myDigests   map[uint64]crypto.Digest // state digests this replica computed
 	stable      CheckpointProof
 
+	// certs holds, per sequence number above the low watermark, the
+	// prepared certificate from the highest view in which that slot
+	// prepared. It is the P set of §4.4: unlike the live instance log —
+	// which installNewView discards — certificates must survive view
+	// changes until a stable checkpoint covers them, or a second view
+	// change could null a slot the quorum already executed.
+	certs map[uint64]*PreparedProof
+
 	pendingProposals []Request // proposals waiting for watermark space
 
 	inViewChange bool
 	vcs          map[uint64]map[crypto.NodeID]*ViewChange
 	sentVCFor    uint64 // highest view this replica sent a ViewChange for
 	vcAttempts   int
+
+	// Crash-recovery state (see persist.go). pinned maps slots this
+	// replica voted on before a crash to the digest it vouched for, valid
+	// while view == pinnedView. lastNewView retains the certificate that
+	// installed the current view so it can be re-sent to replicas that
+	// missed it; helped rate-limits that to once per (peer, view).
+	pinned      map[uint64]crypto.Digest
+	pinnedView  uint64
+	lastNewView *NewView
+	helped      map[crypto.NodeID]uint64
 }
 
 // NewEngine creates a PBFT engine. kp must belong to cfg.ID and reg must
@@ -118,6 +136,7 @@ func NewEngine(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry) (*Engine, e
 		log:         make(map[uint64]*instance),
 		checkpoints: make(map[uint64]map[crypto.NodeID]*Checkpoint),
 		myDigests:   make(map[uint64]crypto.Digest),
+		certs:       make(map[uint64]*PreparedProof),
 		vcs:         make(map[uint64]map[crypto.NodeID]*ViewChange),
 	}, nil
 }
@@ -244,11 +263,11 @@ func (e *Engine) receive(from crypto.NodeID, msg wire.Message, preVerified bool)
 	}
 	switch m := msg.(type) {
 	case *PrePrepare:
-		return e.onPrePrepare(m, preVerified)
+		return append(e.onPrePrepare(m, preVerified), e.maybeHelp(from, m.View)...)
 	case *Prepare:
-		return e.onPrepare(m)
+		return append(e.onPrepare(m), e.maybeHelp(from, m.View)...)
 	case *Commit:
-		return e.onCommit(m)
+		return append(e.onCommit(m), e.maybeHelp(from, m.View)...)
 	case *Checkpoint:
 		return e.onCheckpoint(m)
 	case *ViewChange:
@@ -258,6 +277,28 @@ func (e *Engine) receive(from crypto.NodeID, msg wire.Message, preVerified bool)
 	default:
 		return nil
 	}
+}
+
+// maybeHelp re-sends the NewView certificate that installed the current
+// view to a replica still sending phase messages for an older view — the
+// situation a crash-restarted replica is in when its WAL predates a view
+// change the rest of the cluster completed. The certificate is broadcast
+// exactly once when the view forms, so without this resend such a replica
+// has no way to obtain it and stalls in its old view forever. The receiver
+// validates the certificate like any NewView, so a Byzantine helper gains
+// nothing. Rate limited to once per (peer, view).
+func (e *Engine) maybeHelp(from crypto.NodeID, msgView uint64) []Action {
+	if msgView >= e.view || e.lastNewView == nil || e.lastNewView.View != e.view {
+		return nil
+	}
+	if e.helped == nil {
+		e.helped = make(map[crypto.NodeID]uint64)
+	}
+	if e.helped[from] >= e.view {
+		return nil
+	}
+	e.helped[from] = e.view
+	return []Action{SendAction{To: from, Msg: e.lastNewView}}
 }
 
 // inWatermarks checks the sequence number bound (lowWater, lowWater+window].
@@ -296,8 +337,16 @@ func (e *Engine) onPrePrepare(pp *PrePrepare, reqVerified bool) []Action {
 // acceptPrePrepare records the proposal and, on backups, answers with a
 // Prepare. Shared by the normal path and new-view installation.
 func (e *Engine) acceptPrePrepare(pp *PrePrepare) []Action {
-	inst := e.getInstance(pp.Seq)
 	digest := pp.Req.Digest()
+	if len(e.pinned) > 0 && pp.View == e.pinnedView {
+		// This replica voted on the slot before its last crash; the WAL
+		// pinned the digest it vouched for. Accepting anything else would
+		// be equivocation, so a conflicting proposal is dropped.
+		if d, ok := e.pinned[pp.Seq]; ok && d != digest {
+			return nil
+		}
+	}
+	inst := e.getInstance(pp.Seq)
 	if inst.preprepare != nil {
 		// A second proposal for an occupied slot: equivocation or a
 		// retransmit. Either way the first accepted proposal stands.
@@ -377,6 +426,7 @@ func (e *Engine) checkProgress(inst *instance) []Action {
 		}
 		if matching >= 2*e.cfg.F() {
 			inst.prepared = true
+			e.recordPreparedCert(inst)
 		}
 	}
 
@@ -527,6 +577,11 @@ func (e *Engine) installStable(proof CheckpointProof) []Action {
 	for seq := range e.myDigests {
 		if seq < proof.Seq {
 			delete(e.myDigests, seq)
+		}
+	}
+	for seq := range e.certs {
+		if seq <= proof.Seq {
+			delete(e.certs, seq)
 		}
 	}
 

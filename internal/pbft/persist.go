@@ -1,0 +1,139 @@
+package pbft
+
+import (
+	"zugchain/internal/crypto"
+	"zugchain/internal/wire"
+)
+
+// Castro–Liskov PBFT assumes replicas log protocol messages to stable
+// storage before sending them: a replica that crashes and restarts without
+// that log comes back at view 0 having forgotten which digests it voted
+// for, and can equivocate — sending a conflicting Prepare for a slot it
+// already prepared — which silently burns the f-of-3f+1 fault budget. The
+// types here are the engine's durability contract: the Runner condenses
+// each action batch into PersistRecords and hands them to a Persister
+// before any message leaves the process, and a restarted node feeds the
+// replayed records back through Engine.Restore.
+
+// PersistKind identifies what a PersistRecord captures.
+type PersistKind uint8
+
+const (
+	// PersistView records the replica's view state after it changed: View
+	// is the active view, Seq the highest view a ViewChange was sent for,
+	// and InViewChange whether a change was still in progress.
+	PersistView PersistKind = iota + 1
+	// PersistPrePrepare, PersistPrepare and PersistCommit pin the request
+	// digest this replica vouched for at (View, Seq), written before the
+	// corresponding message is sent.
+	PersistPrePrepare
+	PersistPrepare
+	PersistCommit
+)
+
+// PersistRecord is one durable protocol event.
+type PersistRecord struct {
+	Kind         PersistKind
+	View         uint64
+	Seq          uint64
+	Digest       crypto.Digest
+	InViewChange bool
+}
+
+// Persister writes protocol records to stable storage. Persist must not
+// return until the records are durable; an error means durability could not
+// be guaranteed and the runner stops sending protocol messages (the replica
+// degrades to a silent learner rather than risk equivocating after a
+// restart). It is called only from the runner's event loop.
+type Persister interface {
+	Persist(recs []PersistRecord) error
+}
+
+// RestoredState is what a restarted node reconstructs from its WAL and
+// blockchain before the engine starts.
+type RestoredState struct {
+	// View and SentVCFor restore the view state from the last PersistView
+	// record.
+	View      uint64
+	SentVCFor uint64
+	// Stable is the newest durable checkpoint proof (zero Seq = genesis).
+	Stable CheckpointProof
+	// Executed is the last sequence number whose effects are already
+	// durable in the blockchain — re-executing past it would double-LOG.
+	Executed uint64
+	// Pinned are the replayed PrePrepare/Prepare/Commit records; those
+	// matching the restored view pin their slots against equivocation.
+	Pinned []PersistRecord
+}
+
+// Restore applies st to a freshly constructed engine, before Start. The
+// replica resumes in its pre-crash view with its pre-crash watermarks, and
+// every slot it had voted on is pinned to the digest it vouched for:
+// acceptPrePrepare refuses a conflicting proposal for a pinned slot, so the
+// restarted replica may re-send identical votes (harmless retransmits) but
+// can never contradict its pre-crash word.
+func (e *Engine) Restore(st RestoredState) {
+	if st.View > e.view {
+		e.view = st.View
+	}
+	if st.SentVCFor > e.sentVCFor {
+		e.sentVCFor = st.SentVCFor
+	}
+	if st.Stable.Seq > e.lowWater {
+		e.stable = st.Stable
+		e.lowWater = st.Stable.Seq
+	}
+	if st.Executed > e.executed {
+		e.executed = st.Executed
+	}
+	if e.executed < e.lowWater {
+		e.executed = e.lowWater
+	}
+	if e.nextSeq <= e.executed {
+		e.nextSeq = e.executed + 1
+	}
+	e.pinnedView = e.view
+	e.pinned = make(map[uint64]crypto.Digest)
+	for _, p := range st.Pinned {
+		if p.View != e.view || p.Seq <= e.lowWater {
+			continue
+		}
+		switch p.Kind {
+		case PersistPrePrepare, PersistPrepare, PersistCommit:
+			e.pinned[p.Seq] = p.Digest
+		default:
+			continue
+		}
+		// A primary must not reassign a sequence number it already
+		// proposed before the crash.
+		if p.Kind == PersistPrePrepare && p.Seq >= e.nextSeq {
+			e.nextSeq = p.Seq + 1
+		}
+	}
+}
+
+// ViewState returns the view fields a PersistView record captures. Safe
+// only from the runner's event loop (Application callbacks or Inspect).
+func (e *Engine) ViewState() (view, sentVCFor uint64, inViewChange bool) {
+	return e.view, e.sentVCFor, e.inViewChange
+}
+
+// EncodeCheckpointProof serializes a checkpoint proof for stable storage.
+func EncodeCheckpointProof(p CheckpointProof) []byte {
+	enc := wire.NewEncoder(64 + 128*len(p.Checkpoints))
+	p.encodeTo(enc)
+	out := make([]byte, enc.Len())
+	copy(out, enc.Data())
+	return out
+}
+
+// DecodeCheckpointProof is the inverse of EncodeCheckpointProof. The caller
+// still Verify()s the proof — disk contents are not implicitly trusted.
+func DecodeCheckpointProof(data []byte) (CheckpointProof, error) {
+	d := wire.NewDecoder(data)
+	p := decodeCheckpointProof(d)
+	if err := d.Err(); err != nil {
+		return CheckpointProof{}, err
+	}
+	return p, nil
+}

@@ -46,6 +46,13 @@ type RunnerConfig struct {
 	// happens on the transport's delivery goroutine — still off the event
 	// loop, just without cross-message parallelism.
 	VerifyPool *crypto.VerifyPool
+	// Persister, when non-nil, receives the durable protocol records of
+	// each action batch before any of its messages are sent (the
+	// Castro–Liskov log-before-send rule). A persist failure permanently
+	// mutes the replica's outbound protocol traffic: it keeps receiving
+	// and delivering, but a replica that cannot log its votes must not
+	// cast them.
+	Persister Persister
 }
 
 // Runner owns an Engine and pumps it: inbound transport messages, local
@@ -70,6 +77,8 @@ type Runner struct {
 
 	viewTimer     clock.Timer
 	viewTimerView uint64
+
+	persistBroken bool // sticky: a Persist failure mutes outbound sends
 }
 
 // NewRunner wires an engine to a transport, clock, and application.
@@ -234,14 +243,77 @@ func encodeAction(msg wire.Message, cached []byte) []byte {
 	return wire.Marshal(msg)
 }
 
+// persistBatch condenses one action batch into the durable records the
+// log-before-send rule requires: the digest of every outbound phase vote,
+// plus one view-state record whenever the batch shows the view machinery
+// moved (a ViewChange or NewView leaving, or a view becoming active). It
+// runs on the event loop, so reading engine fields directly is safe — and
+// necessary: by the time actions are emitted the engine has already applied
+// their state changes, so its fields are exactly what must be persisted.
+func (r *Runner) persistBatch(actions []Action) []PersistRecord {
+	var recs []PersistRecord
+	viewDirty := false
+	for _, a := range actions {
+		var msg wire.Message
+		switch act := a.(type) {
+		case SendAction:
+			msg = act.Msg
+		case BroadcastAction:
+			msg = act.Msg
+		case NewPrimaryAction:
+			viewDirty = true
+			continue
+		default:
+			continue
+		}
+		switch m := msg.(type) {
+		case *PrePrepare:
+			recs = append(recs, PersistRecord{
+				Kind: PersistPrePrepare, View: m.View, Seq: m.Seq, Digest: m.Req.Digest(),
+			})
+		case *Prepare:
+			recs = append(recs, PersistRecord{
+				Kind: PersistPrepare, View: m.View, Seq: m.Seq, Digest: m.Digest,
+			})
+		case *Commit:
+			recs = append(recs, PersistRecord{
+				Kind: PersistCommit, View: m.View, Seq: m.Seq, Digest: m.Digest,
+			})
+		case *ViewChange, *NewView:
+			viewDirty = true
+		}
+	}
+	if viewDirty {
+		view, sentVCFor, changing := r.engine.ViewState()
+		recs = append(recs, PersistRecord{
+			Kind: PersistView, View: view, Seq: sentVCFor, InViewChange: changing,
+		})
+	}
+	return recs
+}
+
 // execute performs the engine's actions, feeding results of application
-// callbacks straight back into the engine.
+// callbacks straight back into the engine. When a Persister is configured,
+// the batch's protocol records are made durable before any message is sent.
 func (r *Runner) execute(actions []Action) {
+	if r.cfg.Persister != nil && !r.persistBroken {
+		if recs := r.persistBatch(actions); len(recs) > 0 {
+			if err := r.cfg.Persister.Persist(recs); err != nil {
+				r.persistBroken = true
+			}
+		}
+	}
 	for _, a := range actions {
 		switch act := a.(type) {
 		case SendAction:
+			if r.persistBroken {
+				continue
+			}
 			_ = r.tr.Send(act.To, encodeAction(act.Msg, act.Encoded))
 		case BroadcastAction:
+			if r.persistBroken {
+				continue
+			}
 			_ = r.tr.Broadcast(encodeAction(act.Msg, act.Encoded))
 		case DeliverAction:
 			r.app.Deliver(act.Seq, act.Req)

@@ -79,6 +79,11 @@ type runnerCluster struct {
 
 func newRunnerCluster(t *testing.T, n int, viewTimeout time.Duration) *runnerCluster {
 	t.Helper()
+	return newRunnerClusterClock(t, n, viewTimeout, clock.Real{})
+}
+
+func newRunnerClusterClock(t *testing.T, n int, viewTimeout time.Duration, clk clock.Clock) *runnerCluster {
+	t.Helper()
 	rc := &runnerCluster{
 		net:     transport.NewNetwork(),
 		runners: make(map[crypto.NodeID]*Runner),
@@ -100,7 +105,7 @@ func newRunnerCluster(t *testing.T, n int, viewTimeout time.Duration) *runnerClu
 			t.Fatal(err)
 		}
 		app := newTestApp()
-		runner := NewRunner(engine, rc.net.Endpoint(id), clock.Real{}, app,
+		runner := NewRunner(engine, rc.net.Endpoint(id), clk, app,
 			RunnerConfig{BaseViewTimeout: viewTimeout})
 		rc.apps[id] = app
 		rc.runners[id] = runner
@@ -309,4 +314,103 @@ func registryOf(rc *runnerCluster) *crypto.Registry {
 		pairs = append(pairs, kp)
 	}
 	return crypto.NewRegistry(pairs...)
+}
+
+// TestRunnerViewTimerDoublesPerAttempt pins the view-change backoff schedule
+// to a fake clock: each failed attempt doubles the progress timeout
+// (BaseViewTimeout << attempt), so an isolated replica escalates at t, 3t,
+// 7t, ... and never earlier.
+func TestRunnerViewTimerDoublesPerAttempt(t *testing.T) {
+	const base = 100 * time.Millisecond
+	clk := clock.NewFake()
+	rc := newRunnerClusterClock(t, 4, base, clk)
+
+	// r3 is cut off: its view changes can never complete, so every armed
+	// timer runs to expiry.
+	rc.net.Isolate(3)
+	rc.runners[3].Suspect(0)
+
+	sentVCFor := func() uint64 {
+		var v uint64
+		rc.runners[3].Inspect(func(e *Engine) { v = e.sentVCFor })
+		return v
+	}
+	waitFor := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for sentVCFor() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("sentVCFor = %d, want %d", sentVCFor(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stableAt := func(want uint64) {
+		t.Helper()
+		time.Sleep(50 * time.Millisecond) // let any stray timer fire drain
+		if got := sentVCFor(); got != want {
+			t.Fatalf("sentVCFor = %d after partial advance, want %d", got, want)
+		}
+	}
+
+	waitFor(1) // Suspect sends the first view change, attempt 0
+
+	clk.Advance(base) // attempt 0 expires after base
+	waitFor(2)
+
+	clk.Advance(base) // attempt 1 needs 2*base: half is not enough
+	stableAt(2)
+	clk.Advance(base)
+	waitFor(3)
+
+	clk.Advance(2 * base) // attempt 2 needs 4*base: half is not enough
+	stableAt(3)
+	clk.Advance(2 * base)
+	waitFor(4)
+}
+
+// TestRunnerViewTimerCancelledByLivePrimary: once the view change completes
+// and a live primary takes over, the progress timer must be stopped — no
+// amount of elapsed time may push the cluster into another view.
+func TestRunnerViewTimerCancelledByLivePrimary(t *testing.T) {
+	const base = 100 * time.Millisecond
+	clk := clock.NewFake()
+	rc := newRunnerClusterClock(t, 4, base, clk)
+
+	for _, id := range rc.ids[1:] {
+		rc.runners[id].Suspect(0)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, id := range rc.ids[1:] {
+		for {
+			var view uint64
+			var changing bool
+			rc.runners[id].Inspect(func(e *Engine) {
+				view = e.View()
+				changing = e.InViewChange()
+			})
+			if view == 1 && !changing {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %v stuck before view 1", id)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The new primary is live (the view installed); a still-armed timer
+	// would now fire and wrongly escalate to view 2.
+	clk.Advance(1024 * base)
+	time.Sleep(100 * time.Millisecond)
+	for _, id := range rc.ids[1:] {
+		var view, vcFor uint64
+		rc.runners[id].Inspect(func(e *Engine) {
+			view = e.View()
+			vcFor = e.sentVCFor
+		})
+		if view != 1 || vcFor > 1 {
+			t.Errorf("replica %v escalated past the live primary: view=%d sentVCFor=%d", id, view, vcFor)
+		}
+	}
 }

@@ -11,6 +11,14 @@ import (
 // target. escalation marks a retried view change (timer expiry), which backs
 // off the progress timer.
 func (e *Engine) startViewChange(target uint64, escalation bool) []Action {
+	// A ViewChange freezes this replica's P set for all lower views: once
+	// sent, entering any view below the announced target would let it
+	// prepare requests its outstanding promise does not report, and a later
+	// NewView built from that stale promise could null a committed slot.
+	// The target is therefore monotonic.
+	if target < e.sentVCFor {
+		target = e.sentVCFor
+	}
 	if target <= e.sentVCFor && e.inViewChange {
 		return nil
 	}
@@ -40,29 +48,44 @@ func (e *Engine) startViewChange(target uint64, escalation bool) []Action {
 	return actions
 }
 
-// preparedProofs collects the P set: a proof for every sequence number above
-// the stable checkpoint that reached prepared state.
+// recordPreparedCert captures the prepared certificate for an instance that
+// just reached prepared state, keeping the highest-view certificate per
+// sequence number. The map outlives installNewView's instance-log wipe, so
+// the P set of later view changes still vouches for slots prepared (and
+// possibly executed) in earlier views.
+func (e *Engine) recordPreparedCert(inst *instance) {
+	if inst.preprepare == nil || inst.seq <= e.lowWater {
+		return
+	}
+	if cur, ok := e.certs[inst.seq]; ok && cur.PrePrepare.View >= inst.view {
+		return
+	}
+	proof := &PreparedProof{PrePrepare: *inst.preprepare}
+	for _, p := range inst.prepares {
+		if p.Digest == inst.digest && p.View == inst.view && p.Replica != inst.preprepare.Replica {
+			proof.Prepares = append(proof.Prepares, *p)
+		}
+	}
+	sort.Slice(proof.Prepares, func(i, j int) bool {
+		return proof.Prepares[i].Replica < proof.Prepares[j].Replica
+	})
+	e.certs[inst.seq] = proof
+}
+
+// preparedProofs collects the P set: for every sequence number above the
+// stable checkpoint that reached prepared state — in this or any earlier
+// view — the certificate from the highest view that prepared it.
 func (e *Engine) preparedProofs() []PreparedProof {
-	seqs := make([]uint64, 0, len(e.log))
-	for seq, inst := range e.log {
-		if seq > e.lowWater && inst.prepared && inst.preprepare != nil {
+	seqs := make([]uint64, 0, len(e.certs))
+	for seq := range e.certs {
+		if seq > e.lowWater {
 			seqs = append(seqs, seq)
 		}
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	proofs := make([]PreparedProof, 0, len(seqs))
 	for _, seq := range seqs {
-		inst := e.log[seq]
-		proof := PreparedProof{PrePrepare: *inst.preprepare}
-		for _, p := range inst.prepares {
-			if p.Digest == inst.digest && p.View == inst.view {
-				proof.Prepares = append(proof.Prepares, *p)
-			}
-		}
-		sort.Slice(proof.Prepares, func(i, j int) bool {
-			return proof.Prepares[i].Replica < proof.Prepares[j].Replica
-		})
-		proofs = append(proofs, proof)
+		proofs = append(proofs, *e.certs[seq])
 	}
 	return proofs
 }
@@ -176,7 +199,7 @@ func (e *Engine) distinctHigherViewChangers() map[crypto.NodeID]uint64 {
 // maybeFormNewView builds and broadcasts a NewView if this replica is the
 // designated primary of target and holds a 2f+1 quorum of view changes.
 func (e *Engine) maybeFormNewView(target uint64) []Action {
-	if e.primaryOf(target) != e.cfg.ID || target <= e.view {
+	if e.primaryOf(target) != e.cfg.ID || target <= e.view || target < e.sentVCFor {
 		return nil
 	}
 	byReplica := e.vcs[target]
@@ -275,6 +298,13 @@ func (e *Engine) onNewView(nv *NewView) []Action {
 	if nv.View <= e.view || nv.Replica != e.primaryOf(nv.View) {
 		return nil
 	}
+	if nv.View < e.sentVCFor {
+		// This replica already promised a higher view; entering a lower one
+		// would break the freeze its ViewChange message asserted (see
+		// startViewChange) and allow a later NewView to null slots this
+		// replica commits below the promised view.
+		return nil
+	}
 	if err := e.validateNewView(nv); err != nil {
 		return nil
 	}
@@ -352,6 +382,12 @@ func (e *Engine) installNewView(nv *NewView) []Action {
 	e.view = nv.View
 	e.inViewChange = false
 	e.vcAttempts = 0
+	e.lastNewView = nv
+	if e.view > e.pinnedView {
+		// Pre-crash pins only constrain the view they were cast in; the
+		// NewView certificate re-certifies every surviving slot.
+		e.pinned = nil
+	}
 	if e.sentVCFor < e.view {
 		e.sentVCFor = e.view
 	}

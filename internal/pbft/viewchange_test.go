@@ -252,3 +252,104 @@ func TestPreparedProofValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestPreparedCertsSurviveViewChange: a request commits and executes in view
+// 0, then two view changes follow back to back — the second before any slot
+// re-prepares in view 1 (its prepares are censored). The NewView for view 2
+// must still carry the request from the view-0 certificate instead of
+// nulling a slot the quorum already executed; losing it would let a replica
+// that missed view 0 execute a null there and fork its chain.
+func TestPreparedCertsSurviveViewChange(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	c.propose(0, "durable")
+	c.run()
+	c.assertAllDelivered("durable")
+
+	// View change to 1, with every view-1 prepare dropped so seq 1 never
+	// re-prepares there: the only evidence for it is the view-0 cert.
+	c.filter = func(p packet) bool {
+		msg, err := unmarshalPacket(p)
+		if err != nil {
+			return true
+		}
+		if prep, ok := msg.(*Prepare); ok && prep.View == 1 {
+			return false
+		}
+		return true
+	}
+	c.suspect(1, 2, 3)
+	c.run()
+	if c.engines[0].View() != 1 {
+		t.Fatal("setup: first view change did not complete")
+	}
+
+	// Second view change. Its NewView must re-issue seq 1 with the
+	// original request, not a null.
+	c.filter = nil
+	c.suspect(0, 2, 3)
+	c.run()
+	for _, id := range c.ids {
+		e := c.engines[id]
+		if e.View() != 2 {
+			t.Fatalf("replica %v view = %d, want 2", id, e.View())
+		}
+		nv := e.lastNewView
+		if nv == nil {
+			t.Fatalf("replica %v has no NewView certificate", id)
+		}
+		found := false
+		for i := range nv.PrePrepares {
+			pp := &nv.PrePrepares[i]
+			if pp.Seq == 1 {
+				found = true
+				if pp.Req.IsNull() {
+					t.Errorf("replica %v: NewView(2) nulled executed seq 1", id)
+				} else if string(pp.Req.Payload) != "durable" {
+					t.Errorf("replica %v: NewView(2) carries %q at seq 1", id, pp.Req.Payload)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("replica %v: NewView(2) omits seq 1", id)
+		}
+	}
+}
+
+// TestNoReentryBelowPromisedView: a replica that escalated its view change
+// to view 2 has promised that its P set is final for every lower view; it
+// must refuse a NewView for view 1, or requests it prepares after re-entry
+// would be missing from the stale promise a later NewView may be built on.
+func TestNoReentryBelowPromisedView(t *testing.T) {
+	c := newCluster(t, 4, nil)
+
+	// r3 sees nothing while the others change to view 1.
+	c.filter = func(p packet) bool { return p.to != 3 }
+	c.suspect(1, 2)
+	c.handle(0, c.engines[0].Suspect(c.engines[0].Primary()))
+	c.run()
+	if c.engines[1].View() != 1 {
+		t.Fatal("setup: view 1 did not form among r0-r2")
+	}
+
+	// r3 independently suspects the primary and escalates past view 1.
+	c.handle(3, c.engines[3].Suspect(c.engines[3].Primary()))
+	c.fireViewTimer(3)
+	if got := c.engines[3].sentVCFor; got != 2 {
+		t.Fatalf("setup: r3 escalated to %d, want 2", got)
+	}
+
+	// The view-1 certificate arrives late: r3 must not re-enter view 1.
+	c.filter = nil
+	nv := c.engines[1].lastNewView
+	if nv == nil || nv.View != 1 {
+		t.Fatal("setup: r1 holds no NewView for view 1")
+	}
+	c.handle(3, c.engines[3].Receive(1, nv))
+	c.run()
+	if got := c.engines[3].View(); got >= 1 && got < 2 {
+		t.Errorf("r3 entered view %d below its promised view 2", got)
+	}
+	if !c.engines[3].inViewChange && c.engines[3].View() < 2 {
+		t.Errorf("r3 left the view change without reaching its promised view")
+	}
+}

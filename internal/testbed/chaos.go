@@ -1,0 +1,399 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"zugchain/internal/clock"
+	"zugchain/internal/crypto"
+	"zugchain/internal/mvb"
+	"zugchain/internal/node"
+	"zugchain/internal/pbft"
+	"zugchain/internal/transport"
+)
+
+// Crash schedules one replica kill and (optionally) its restart from the
+// same data dir.
+type Crash struct {
+	// Node is the replica index to kill.
+	Node int
+	// KillAtCycle is the bus cycle at which the process dies.
+	KillAtCycle int
+	// RestartAtCycle, when > KillAtCycle, restarts the replica from its
+	// data dir at that cycle; zero leaves it dead.
+	RestartAtCycle int
+}
+
+// Partition schedules a symmetric network partition between two replicas.
+type Partition struct {
+	A, B int
+	// AtCycle cuts the link; HealAtCycle (when > AtCycle) restores it.
+	AtCycle     int
+	HealAtCycle int
+}
+
+// ChaosScenario drives a ZugChain cluster through crash-restarts and
+// network partitions while the transport injects seeded drop/delay/
+// duplicate faults — the §III-D fault model plus fail-recovery.
+type ChaosScenario struct {
+	// Nodes, BusCycle, Cycles, BlockSize, PayloadSize, timeouts, TimeScale
+	// and Seed mean the same as in Scenario.
+	Nodes       int
+	BusCycle    time.Duration
+	Cycles      int
+	BlockSize   uint64
+	PayloadSize int
+	SoftTimeout time.Duration
+	HardTimeout time.Duration
+	ViewTimeout time.Duration
+	TimeScale   int
+	Seed        int64
+	// DataRoot is the directory holding one data dir per replica; crashed
+	// replicas restart from theirs. Required.
+	DataRoot string
+	// NetFaults configures the fault-injecting transport wrapper every
+	// replica sends through.
+	NetFaults transport.FaultConfig
+	// Crashes and Partitions are the fault schedule.
+	Crashes    []Crash
+	Partitions []Partition
+	// StateRetryInterval overrides the node's state-transfer retry base
+	// (scaled); zero keeps the node default.
+	StateRetryInterval time.Duration
+}
+
+func (s *ChaosScenario) applyDefaults() {
+	if s.Nodes == 0 {
+		s.Nodes = 4
+	}
+	if s.BusCycle == 0 {
+		s.BusCycle = 64 * time.Millisecond
+	}
+	if s.Cycles == 0 {
+		s.Cycles = 100
+	}
+	if s.BlockSize == 0 {
+		s.BlockSize = 10
+	}
+	if s.TimeScale <= 0 {
+		s.TimeScale = 1
+	}
+	if s.SoftTimeout == 0 {
+		s.SoftTimeout = 250 * time.Millisecond
+	}
+	if s.HardTimeout == 0 {
+		s.HardTimeout = 250 * time.Millisecond
+	}
+	if s.ViewTimeout == 0 {
+		s.ViewTimeout = 500 * time.Millisecond
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+func (s *ChaosScenario) scaled(d time.Duration) time.Duration {
+	return d / time.Duration(s.TimeScale)
+}
+
+// RestartReport captures what one crash-restarted replica recovered.
+type RestartReport struct {
+	Node int
+	// PreCrashView is the replica's PBFT view just before it was killed.
+	PreCrashView uint64
+	// Recovery is what the restarted node reconstructed from disk.
+	Recovery node.RecoveryInfo
+}
+
+// ChaosResult summarizes a chaos run. The harness extracts everything the
+// assertions need before tearing the cluster down.
+type ChaosResult struct {
+	// MinHeight / MaxHeight are the final chain heights across replicas
+	// alive at the end.
+	MinHeight, MaxHeight uint64
+	// Diverged is empty when all alive replicas hold identical blocks over
+	// [1, MinHeight]; otherwise it describes the first divergence.
+	Diverged string
+	// DuplicateLogs counts payload digests logged more than once within
+	// any single chain — the double-LOG a recovery bug would produce.
+	DuplicateLogs int
+	// Restarts reports each crash-restart, in schedule order.
+	Restarts []RestartReport
+	// FaultStats aggregates the injected network faults per replica index
+	// (final incarnation).
+	FaultStats []transport.FaultStats
+}
+
+// chaosCluster is the mutable run state of RunChaos.
+type chaosCluster struct {
+	s       ChaosScenario
+	net     *transport.Network
+	bus     *mvb.Bus
+	ids     []crypto.NodeID
+	kps     map[crypto.NodeID]*crypto.KeyPair
+	reg     *crypto.Registry
+	nodes   []*node.Node
+	faulty  []*transport.Faulty
+	cancels []context.CancelFunc
+	incarn  []int64
+	// cut tracks active partitions so a restarted replica's fresh wrapper
+	// re-blocks its partitioned peers.
+	cut map[[2]int]bool
+}
+
+func (c *chaosCluster) nodeConfig(i int) node.Config {
+	s := c.s
+	return node.Config{
+		ID:                 c.ids[i],
+		Replicas:           c.ids,
+		BlockSize:          s.BlockSize,
+		DataDir:            filepath.Join(s.DataRoot, fmt.Sprintf("node-%d", i)),
+		SoftTimeout:        s.scaled(s.SoftTimeout),
+		HardTimeout:        s.scaled(s.HardTimeout),
+		ViewTimeout:        s.scaled(s.ViewTimeout),
+		StateRetryInterval: s.scaled(s.StateRetryInterval),
+	}
+}
+
+// startNode builds (or rebuilds) replica i on a fresh transport attachment,
+// re-applying any partitions it is on one side of.
+func (c *chaosCluster) startNode(i int) (*node.Node, error) {
+	id := c.ids[i]
+	f := transport.NewFaulty(c.net.Endpoint(id), c.ids, c.s.NetFaults, c.s.Seed+int64(i)+c.incarn[i]*1000)
+	for pair := range c.cut {
+		if pair[0] == i {
+			f.Partition(c.ids[pair[1]])
+		}
+		if pair[1] == i {
+			f.Partition(c.ids[pair[0]])
+		}
+	}
+	n, err := node.New(c.nodeConfig(i), c.kps[id], c.reg, f, clock.Real{})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.nodes[i] = n
+	c.faulty[i] = f
+	c.cancels[i] = cancel
+	c.incarn[i]++
+	n.Start()
+	n.RunBus(ctx, c.bus.NewReader(mvb.FaultConfig{}, c.s.Seed+int64(i)+c.incarn[i]*1000))
+	return n, nil
+}
+
+// killNode stops replica i and releases its network attachment; only its
+// data dir survives.
+func (c *chaosCluster) killNode(i int) {
+	c.cancels[i]()
+	c.nodes[i].Stop()
+	c.nodes[i] = nil
+	c.faulty[i] = nil
+	c.net.Remove(c.ids[i])
+}
+
+func (c *chaosCluster) setPartition(p Partition, on bool) {
+	key := [2]int{p.A, p.B}
+	if on {
+		c.cut[key] = true
+	} else {
+		delete(c.cut, key)
+	}
+	if fa := c.faulty[p.A]; fa != nil {
+		if on {
+			fa.Partition(c.ids[p.B])
+		} else {
+			fa.Heal(c.ids[p.B])
+		}
+	}
+	if fb := c.faulty[p.B]; fb != nil {
+		if on {
+			fb.Partition(c.ids[p.A])
+		} else {
+			fb.Heal(c.ids[p.A])
+		}
+	}
+}
+
+// RunChaos executes a chaos scenario: the cluster orders bus traffic while
+// the schedule kills, restarts, partitions, and heals replicas, then waits
+// for the survivors to converge and reports what they agree on.
+func RunChaos(s ChaosScenario) (*ChaosResult, error) {
+	return runChaosInto(s, &chaosCluster{})
+}
+
+func runChaosInto(s ChaosScenario, c *chaosCluster) (*ChaosResult, error) {
+	s.applyDefaults()
+	if s.DataRoot == "" {
+		return nil, fmt.Errorf("testbed: chaos scenario needs a DataRoot")
+	}
+
+	*c = chaosCluster{
+		s:       s,
+		net:     transport.NewNetwork(transport.WithSeed(s.Seed)),
+		bus:     buildBus(Scenario{Seed: s.Seed, PayloadSize: s.PayloadSize, BusCycle: s.BusCycle, TimeScale: s.TimeScale}),
+		nodes:   make([]*node.Node, s.Nodes),
+		faulty:  make([]*transport.Faulty, s.Nodes),
+		cancels: make([]context.CancelFunc, s.Nodes),
+		incarn:  make([]int64, s.Nodes),
+		cut:     make(map[[2]int]bool),
+	}
+	c.ids, c.kps, c.reg = buildKeys(s.Nodes)
+	defer c.net.Close()
+	defer func() {
+		for i := range c.nodes {
+			if c.nodes[i] != nil {
+				c.cancels[i]()
+				c.nodes[i].Stop()
+			}
+		}
+	}()
+	for i := range c.ids {
+		if _, err := c.startNode(i); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &ChaosResult{}
+	preViews := make(map[int]uint64)
+
+	ticker := time.NewTicker(s.scaled(s.BusCycle))
+	defer ticker.Stop()
+	for cycle := 0; cycle < s.Cycles; cycle++ {
+		<-ticker.C
+		c.bus.Tick()
+		for _, p := range s.Partitions {
+			if p.AtCycle == cycle {
+				c.setPartition(p, true)
+			}
+			if p.HealAtCycle == cycle && p.HealAtCycle > p.AtCycle {
+				c.setPartition(p, false)
+			}
+		}
+		for _, cr := range s.Crashes {
+			if cr.KillAtCycle == cycle && c.nodes[cr.Node] != nil {
+				var view uint64
+				c.nodes[cr.Node].Runner().Inspect(func(e *pbft.Engine) {
+					view, _, _ = e.ViewState()
+				})
+				preViews[cr.Node] = view
+				c.killNode(cr.Node)
+			}
+			if cr.RestartAtCycle == cycle && cr.RestartAtCycle > cr.KillAtCycle && c.nodes[cr.Node] == nil {
+				n, err := c.startNode(cr.Node)
+				if err != nil {
+					return nil, fmt.Errorf("testbed: restart node %d: %w", cr.Node, err)
+				}
+				res.Restarts = append(res.Restarts, RestartReport{
+					Node:         cr.Node,
+					PreCrashView: preViews[cr.Node],
+					Recovery:     n.Recovery(),
+				})
+			}
+		}
+	}
+
+	// Convergence: wait for every alive replica to reach the tallest chain
+	// (restarted ones catch up via state transfer).
+	deadline := time.Now().Add(10*s.scaled(s.ViewTimeout) + 5*time.Second)
+	for {
+		min, max := c.heights()
+		if min == max && max > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res.MinHeight, res.MaxHeight = c.heights()
+	res.Diverged = c.compareChains(res.MinHeight)
+	res.DuplicateLogs = c.countDuplicateLogs()
+	res.FaultStats = make([]transport.FaultStats, s.Nodes)
+	for i, f := range c.faulty {
+		if f != nil {
+			res.FaultStats[i] = f.Stats()
+		}
+	}
+	return res, nil
+}
+
+func (c *chaosCluster) heights() (min, max uint64) {
+	first := true
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		h := n.Store().HeadIndex()
+		if first || h < min {
+			min = h
+		}
+		if first || h > max {
+			max = h
+		}
+		first = false
+	}
+	return min, max
+}
+
+// compareChains returns "" when all alive replicas hold identical blocks
+// over [1, height], else a description of the first divergence.
+func (c *chaosCluster) compareChains(height uint64) string {
+	var ref *node.Node
+	var refIdx int
+	for i, n := range c.nodes {
+		if n != nil {
+			ref, refIdx = n, i
+			break
+		}
+	}
+	if ref == nil {
+		return "no replicas alive"
+	}
+	for i, n := range c.nodes {
+		if n == nil || n == ref {
+			continue
+		}
+		for idx := uint64(1); idx <= height; idx++ {
+			a, errA := ref.Store().Get(idx)
+			b, errB := n.Store().Get(idx)
+			if errA != nil || errB != nil {
+				return fmt.Sprintf("block %d: node %d: %v, node %d: %v", idx, refIdx, errA, i, errB)
+			}
+			if a.Hash() != b.Hash() {
+				return fmt.Sprintf("block %d differs between node %d and node %d", idx, refIdx, i)
+			}
+		}
+	}
+	return ""
+}
+
+// countDuplicateLogs counts payload digests logged more than once within a
+// single chain, across all alive replicas.
+func (c *chaosCluster) countDuplicateLogs() int {
+	dups := 0
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		seen := make(map[crypto.Digest]bool)
+		store := n.Store()
+		for idx := store.Base() + 1; idx <= store.HeadIndex(); idx++ {
+			b, err := store.Get(idx)
+			if err != nil {
+				continue
+			}
+			for _, e := range b.Entries {
+				d := crypto.Hash(e.Payload)
+				if seen[d] {
+					dups++
+				}
+				seen[d] = true
+			}
+		}
+	}
+	return dups
+}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zugchain/internal/crypto"
+)
+
+// FaultConfig parameterizes a Faulty transport wrapper, mirroring
+// mvb.FaultConfig for the network side: each knob is a per-message
+// probability, applied independently per destination (a broadcast rolls the
+// dice once per peer, like separate sends on the train Ethernet).
+type FaultConfig struct {
+	// DropRate silently discards the message.
+	DropRate float64
+	// DelayRate holds the message back for a uniform random duration in
+	// (0, MaxDelay] before delivering it.
+	DelayRate float64
+	// MaxDelay bounds injected delays; defaults to 50ms when a DelayRate
+	// is set without one.
+	MaxDelay time.Duration
+	// DuplicateRate delivers the message twice.
+	DuplicateRate float64
+}
+
+func (c FaultConfig) enabled() bool {
+	return c.DropRate > 0 || c.DelayRate > 0 || c.DuplicateRate > 0
+}
+
+// FaultStats counts the faults a Faulty wrapper injected.
+type FaultStats struct {
+	Dropped     uint64
+	Delayed     uint64
+	Duplicated  uint64
+	Partitioned uint64
+}
+
+// Faulty wraps a Transport and injects deterministic (seeded) faults on the
+// send path: drops, delays, duplicates, and named-peer partitions. It is
+// the chaos harness's network: the wrapped transport stays well-behaved
+// while the wrapper simulates the lossy, reordering switch fabric between.
+// Inbound messages from partitioned peers are dropped too, so a partition
+// is symmetric from this node's point of view.
+type Faulty struct {
+	inner Transport
+	peers []crypto.NodeID
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	cfg     FaultConfig
+	blocked map[crypto.NodeID]bool
+
+	dropped     atomic.Uint64
+	delayed     atomic.Uint64
+	duplicated  atomic.Uint64
+	partitioned atomic.Uint64
+}
+
+var _ Transport = (*Faulty)(nil)
+
+// NewFaulty wraps inner. peers must list every replica (including the local
+// id; it is skipped on broadcast) so broadcasts can fault each destination
+// independently. The same seed over the same message sequence reproduces
+// the same fault schedule.
+func NewFaulty(inner Transport, peers []crypto.NodeID, cfg FaultConfig, seed int64) *Faulty {
+	if cfg.DelayRate > 0 && cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50 * time.Millisecond
+	}
+	ps := make([]crypto.NodeID, len(peers))
+	copy(ps, peers)
+	return &Faulty{
+		inner:   inner,
+		peers:   ps,
+		rng:     rand.New(rand.NewSource(seed)),
+		cfg:     cfg,
+		blocked: make(map[crypto.NodeID]bool),
+	}
+}
+
+// LocalID implements Transport.
+func (f *Faulty) LocalID() crypto.NodeID { return f.inner.LocalID() }
+
+// SetHandler implements Transport, filtering inbound traffic from
+// partitioned peers.
+func (f *Faulty) SetHandler(h Handler) {
+	f.inner.SetHandler(func(from crypto.NodeID, data []byte) {
+		f.mu.Lock()
+		blocked := f.blocked[from]
+		f.mu.Unlock()
+		if blocked {
+			f.partitioned.Add(1)
+			return
+		}
+		h(from, data)
+	})
+}
+
+// Send implements Transport, rolling the fault dice for this destination.
+func (f *Faulty) Send(to crypto.NodeID, data []byte) error {
+	f.mu.Lock()
+	if f.blocked[to] {
+		f.mu.Unlock()
+		f.partitioned.Add(1)
+		return nil // lost in the partition, like a real link
+	}
+	cfg := f.cfg
+	var drop, dup, delay bool
+	var wait time.Duration
+	if cfg.enabled() {
+		drop = cfg.DropRate > 0 && f.rng.Float64() < cfg.DropRate
+		if !drop {
+			dup = cfg.DuplicateRate > 0 && f.rng.Float64() < cfg.DuplicateRate
+			delay = cfg.DelayRate > 0 && f.rng.Float64() < cfg.DelayRate
+			if delay {
+				wait = time.Duration(1 + f.rng.Int63n(int64(cfg.MaxDelay)))
+			}
+		}
+	}
+	f.mu.Unlock()
+
+	if drop {
+		f.dropped.Add(1)
+		return nil
+	}
+	if delay {
+		f.delayed.Add(1)
+		// The caller may reuse its buffer after Send returns; a held-back
+		// message needs its own copy.
+		held := make([]byte, len(data))
+		copy(held, data)
+		time.AfterFunc(wait, func() { _ = f.inner.Send(to, held) })
+		if dup {
+			f.duplicated.Add(1)
+			return f.inner.Send(to, data)
+		}
+		return nil
+	}
+	if dup {
+		f.duplicated.Add(1)
+		if err := f.inner.Send(to, data); err != nil {
+			return err
+		}
+	}
+	return f.inner.Send(to, data)
+}
+
+// Broadcast implements Transport as a per-peer Send so each destination
+// faults independently.
+func (f *Faulty) Broadcast(data []byte) error {
+	var firstErr error
+	self := f.LocalID()
+	for _, id := range f.peers {
+		if id == self {
+			continue
+		}
+		if err := f.Send(id, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements Transport.
+func (f *Faulty) Close() error { return f.inner.Close() }
+
+// Partition blocks all traffic to and from the given peers until Heal.
+func (f *Faulty) Partition(ids ...crypto.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, id := range ids {
+		f.blocked[id] = true
+	}
+}
+
+// Heal unblocks the given peers (all peers when none are named).
+func (f *Faulty) Heal(ids ...crypto.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(ids) == 0 {
+		f.blocked = make(map[crypto.NodeID]bool)
+		return
+	}
+	for _, id := range ids {
+		delete(f.blocked, id)
+	}
+}
+
+// Stats returns the injected-fault counters.
+func (f *Faulty) Stats() FaultStats {
+	return FaultStats{
+		Dropped:     f.dropped.Load(),
+		Delayed:     f.delayed.Load(),
+		Duplicated:  f.duplicated.Load(),
+		Partitioned: f.partitioned.Load(),
+	}
+}

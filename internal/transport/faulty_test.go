@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"zugchain/internal/crypto"
+)
+
+type countingHandler struct {
+	mu    sync.Mutex
+	got   int
+	froms []crypto.NodeID
+}
+
+func (c *countingHandler) handle(from crypto.NodeID, data []byte) {
+	c.mu.Lock()
+	c.got++
+	c.froms = append(c.froms, from)
+	c.mu.Unlock()
+}
+
+func (c *countingHandler) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.got
+}
+
+func (c *countingHandler) waitCount(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.count() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d messages, want %d", c.count(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func faultyPair(t *testing.T, cfg FaultConfig, seed int64) (*Faulty, *Faulty, *countingHandler, *countingHandler) {
+	t.Helper()
+	net := NewNetwork()
+	t.Cleanup(func() { net.Close() })
+	ids := []crypto.NodeID{0, 1}
+	a := NewFaulty(net.Endpoint(0), ids, cfg, seed)
+	b := NewFaulty(net.Endpoint(1), ids, cfg, seed+1)
+	ha, hb := &countingHandler{}, &countingHandler{}
+	a.SetHandler(ha.handle)
+	b.SetHandler(hb.handle)
+	return a, b, ha, hb
+}
+
+func TestFaultyDropsEverythingAtRateOne(t *testing.T) {
+	a, _, _, hb := faultyPair(t, FaultConfig{DropRate: 1}, 1)
+	for i := 0; i < 20; i++ {
+		if err := a.Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if hb.count() != 0 {
+		t.Errorf("%d messages leaked through DropRate=1", hb.count())
+	}
+	if s := a.Stats(); s.Dropped != 20 {
+		t.Errorf("Dropped = %d, want 20", s.Dropped)
+	}
+}
+
+func TestFaultyDuplicates(t *testing.T) {
+	a, _, _, hb := faultyPair(t, FaultConfig{DuplicateRate: 1}, 1)
+	for i := 0; i < 5; i++ {
+		if err := a.Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hb.waitCount(t, 10)
+	if s := a.Stats(); s.Duplicated != 5 {
+		t.Errorf("Duplicated = %d, want 5", s.Duplicated)
+	}
+}
+
+func TestFaultyDelayDeliversEventually(t *testing.T) {
+	a, _, _, hb := faultyPair(t, FaultConfig{DelayRate: 1, MaxDelay: 20 * time.Millisecond}, 1)
+	payload := []byte("mutate-after-send")
+	if err := a.Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X' // the wrapper must have copied the held-back message
+	hb.waitCount(t, 1)
+	if s := a.Stats(); s.Delayed != 1 {
+		t.Errorf("Delayed = %d, want 1", s.Delayed)
+	}
+}
+
+func TestFaultyPartitionBlocksBothDirections(t *testing.T) {
+	a, b, ha, hb := faultyPair(t, FaultConfig{}, 1)
+	a.Partition(1)
+	if err := a.Send(1, []byte("out")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(0, []byte("in")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if ha.count() != 0 || hb.count() != 0 {
+		t.Errorf("partitioned traffic delivered: in=%d out=%d", ha.count(), hb.count())
+	}
+	a.Heal()
+	if err := a.Send(1, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	hb.waitCount(t, 1)
+}
+
+func TestFaultyBroadcastFaultsPerPeer(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	ids := []crypto.NodeID{0, 1, 2, 3}
+	a := NewFaulty(net.Endpoint(0), ids, FaultConfig{}, 1)
+	var hs []*countingHandler
+	for _, id := range ids[1:] {
+		h := &countingHandler{}
+		net.Endpoint(id).SetHandler(h.handle)
+		hs = append(hs, h)
+	}
+	a.Partition(2)
+	if err := a.Broadcast([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	hs[0].waitCount(t, 1)
+	hs[2].waitCount(t, 1)
+	time.Sleep(20 * time.Millisecond)
+	if hs[1].count() != 0 {
+		t.Error("broadcast reached a partitioned peer")
+	}
+}
+
+func TestNetworkRemoveAllowsRestart(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	ep1 := net.Endpoint(1)
+	h1 := &countingHandler{}
+	ep1.SetHandler(h1.handle)
+	if err := net.Endpoint(0).Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	h1.waitCount(t, 1)
+
+	net.Remove(1)
+	if same := net.Endpoint(1); same == ep1 {
+		t.Fatal("Remove did not forget the endpoint")
+	}
+	h2 := &countingHandler{}
+	net.Endpoint(1).SetHandler(h2.handle)
+	if err := net.Endpoint(0).Send(1, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	h2.waitCount(t, 1)
+	if h1.count() != 1 {
+		t.Errorf("old endpoint received post-restart traffic")
+	}
+}

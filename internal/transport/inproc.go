@@ -167,6 +167,20 @@ func (n *Network) setPartitioned(a, b crypto.NodeID, v bool) {
 	}
 }
 
+// Remove closes and forgets the endpoint for id, so a later Endpoint(id)
+// call mints a fresh attachment — the simulated equivalent of a crashed
+// process releasing its network interface. Link configurations (including
+// partitions) survive, as switch state would.
+func (n *Network) Remove(id crypto.NodeID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	delete(n.endpoints, id)
+	n.mu.Unlock()
+	if ep != nil {
+		_ = ep.Close()
+	}
+}
+
 // Close shuts down all endpoints.
 func (n *Network) Close() error {
 	n.mu.Lock()

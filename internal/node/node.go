@@ -430,15 +430,20 @@ func (a *pbftApp) CheckpointDigest(seq uint64) crypto.Digest {
 		// state transfer until the chain catches a boundary again.
 		n.mu.Unlock()
 		n.ensureStateFetch(idx)
-		return crypto.Hash([]byte(fmt.Sprintf("gap-%d", seq)))
+		// The divergent digest mixes in this replica's ID: correlated
+		// lagging (e.g. simultaneous crash-restarts) must not let 2f+1
+		// matching gap digests certify a stable checkpoint on a phantom
+		// state that corresponds to no block.
+		return crypto.Hash([]byte(fmt.Sprintf("gap-%d-%d", seq, n.cfg.ID)))
 	}
 	block := n.builder.SealCheckpoint(seq)
 	n.mu.Unlock()
 	if err := n.store.Append(block); err != nil {
 		// Appending a locally built block to the local head can only
 		// fail after state corruption; the checkpoint exchange will
-		// detect the divergence (StateTransferNeeded follows).
-		return crypto.Hash([]byte(fmt.Sprintf("corrupt-%d", seq)))
+		// detect the divergence (StateTransferNeeded follows). Per-replica
+		// digest for the same reason as the gap case above.
+		return crypto.Hash([]byte(fmt.Sprintf("corrupt-%d-%d", seq, n.cfg.ID)))
 	}
 	return block.Hash()
 }

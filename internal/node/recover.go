@@ -39,10 +39,11 @@ func (n *Node) Recovery() RecoveryInfo { return n.recovery }
 type walPersister struct{ log *wal.Log }
 
 var persistToWALKind = map[pbft.PersistKind]wal.Kind{
-	pbft.PersistView:       wal.KindView,
-	pbft.PersistPrePrepare: wal.KindPrePrepare,
-	pbft.PersistPrepare:    wal.KindPrepare,
-	pbft.PersistCommit:     wal.KindCommit,
+	pbft.PersistView:         wal.KindView,
+	pbft.PersistPrePrepare:   wal.KindPrePrepare,
+	pbft.PersistPrepare:      wal.KindPrepare,
+	pbft.PersistCommit:       wal.KindCommit,
+	pbft.PersistPreparedCert: wal.KindPreparedCert,
 }
 
 // Persist implements pbft.Persister.
@@ -59,6 +60,7 @@ func (p walPersister) Persist(recs []pbft.PersistRecord) error {
 			Seq:    r.Seq, // for KindView this is the highest view a ViewChange was sent for
 			Digest: r.Digest,
 			Flag:   r.InViewChange,
+			Data:   r.Data,
 		})
 	}
 	return p.log.Append(out...)
@@ -72,17 +74,22 @@ var walToPersistKind = map[wal.Kind]pbft.PersistKind{
 
 // restoreFromWAL interprets the replayed WAL records and rebuilds the
 // replica's pre-crash state: view and view-change progress, the newest
-// quorum-certified checkpoint, the digests pinned by pre-crash votes, and
-// the dedup window (returned for the layer, which does not exist yet when
-// this runs). Called from New, before the runner starts.
+// quorum-certified checkpoint, the digests pinned by pre-crash votes,
+// prepared certificates, and the dedup window (returned for the layer,
+// which does not exist yet when this runs). Called from New, before the
+// runner starts. A non-empty chain with an empty WAL — the WAL wiped,
+// disabled, or newly enabled over an existing DataDir — still restores the
+// executed watermark from the chain head and reseeds the window from
+// blocks: restarting at executed=0 would re-execute and double-LOG
+// sequences whose effects are already durable.
 func (n *Node) restoreFromWAL(engine *pbft.Engine, recs []wal.Record) []core.WindowEntry {
 	head := n.store.Head()
 	var headIdx, headLastSeq uint64
 	if head != nil {
 		headIdx, headLastSeq = head.Header.Index, head.Header.LastSeq
 	}
-	if len(recs) == 0 {
-		return nil
+	if len(recs) == 0 && head == nil {
+		return nil // fresh start: nothing durable anywhere
 	}
 
 	quorum := 2*((len(n.cfg.Replicas)-1)/3) + 1
@@ -115,6 +122,14 @@ func (n *Node) restoreFromWAL(engine *pbft.Engine, recs []wal.Record) []core.Win
 				Seq:    r.Seq,
 				Digest: r.Digest,
 			})
+		case wal.KindPreparedCert:
+			proof, err := pbft.DecodePreparedProof(r.Data)
+			if err != nil {
+				continue
+			}
+			// Engine.Restore validates the certificate's quorum before
+			// readmitting it to the P set.
+			st.Certs = append(st.Certs, proof)
 		case wal.KindDedup:
 			if r.Seq > window[r.Digest] {
 				window[r.Digest] = r.Seq
@@ -183,9 +198,10 @@ func (n *Node) restoreFromWAL(engine *pbft.Engine, recs []wal.Record) []core.Win
 }
 
 // rotateWAL compacts the log down to a snapshot at a new stable checkpoint:
-// the current view state, the quorum proof itself, and the dedup-window
-// entries the chain cannot re-derive. Called from the runner's event loop
-// (via StableCheckpoint), so reading engine state is safe.
+// the current view state, the quorum proof itself, the votes and prepared
+// certificates for in-flight slots above the checkpoint, and the
+// dedup-window entries the chain cannot re-derive. Called from the runner's
+// event loop (via StableCheckpoint), so reading engine state is safe.
 func (n *Node) rotateWAL(proof pbft.CheckpointProof) {
 	if n.wlog == nil {
 		return
@@ -194,6 +210,29 @@ func (n *Node) rotateWAL(proof pbft.CheckpointProof) {
 	snapshot := []wal.Record{
 		{Kind: wal.KindView, View: view, Seq: sentVC, Flag: inVC},
 		{Kind: wal.KindCheckpoint, Seq: proof.Seq, Data: pbft.EncodeCheckpointProof(proof)},
+	}
+	// Votes for slots in (S, S+window] are routinely cast before the
+	// checkpoint at S stabilizes. The quorum's signatures only re-certify
+	// votes at or below S; everything above it must roll into the new
+	// segment, or a crash right after rotation would restart the replica
+	// with no pins for those slots and let it re-vote a conflicting digest.
+	for _, r := range n.engine.VoteRecords() {
+		kind, ok := persistToWALKind[r.Kind]
+		if !ok {
+			continue
+		}
+		snapshot = append(snapshot, wal.Record{Kind: kind, View: r.View, Seq: r.Seq, Digest: r.Digest})
+	}
+	// Likewise the P set: prepared certificates above the checkpoint back
+	// this replica's ViewChange claims across a restart.
+	for _, p := range n.engine.PreparedProofs() {
+		cp := p
+		snapshot = append(snapshot, wal.Record{
+			Kind: wal.KindPreparedCert,
+			View: cp.PrePrepare.View,
+			Seq:  cp.PrePrepare.Seq,
+			Data: pbft.EncodePreparedProof(&cp),
+		})
 	}
 	for _, e := range n.layer.WindowSnapshot(proof.Seq) {
 		snapshot = append(snapshot, wal.Record{Kind: wal.KindDedup, Seq: e.Seq, Digest: e.Digest})

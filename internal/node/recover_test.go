@@ -2,6 +2,8 @@ package node
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -214,6 +216,72 @@ func TestNodeCrashRestartRecoversAndRejoins(t *testing.T) {
 		t.Errorf("restarted chain: %v", err)
 	}
 	assertNoDuplicateLogs(t, n)
+}
+
+// TestNodeRestartWithWipedWALRestoresFromChain covers the "WAL gone, chain
+// intact" restart (a wiped WAL dir, or the WAL newly enabled over an
+// existing DataDir): the executed watermark and dedup window must still be
+// restored from the chain head, or the replica re-executes and double-LOGs
+// sequences whose effects are already durable.
+func TestNodeRestartWithWipedWALRestoresFromChain(t *testing.T) {
+	c := newRestartCluster(t)
+	c.tickUntil(c.allAtHeight(2), 30*time.Second, "initial height 2")
+
+	c.crash(3)
+	if err := os.RemoveAll(filepath.Join(c.dirs[3], "wal")); err != nil {
+		t.Fatal(err)
+	}
+
+	n := c.start(3)
+	rec := n.Recovery()
+	if rec.WALRecords != 0 {
+		t.Errorf("wiped WAL replayed %d records", rec.WALRecords)
+	}
+	if rec.RestoredSeq == 0 {
+		t.Error("executed watermark not restored from the chain head")
+	}
+	if rec.WindowRestored == 0 {
+		t.Error("dedup window not reseeded from chain blocks")
+	}
+
+	c.tickUntil(c.allAtHeight(3), 60*time.Second, "post-restart height 3")
+	if err := n.Store().VerifyChain(); err != nil {
+		t.Errorf("restarted chain: %v", err)
+	}
+	assertNoDuplicateLogs(t, n)
+}
+
+// TestGapDigestIsPerReplica: the deliberately divergent checkpoint digest a
+// lagging replica reports must differ across replicas, so correlated
+// lagging can never assemble 2f+1 matching digests into a stable checkpoint
+// on a phantom state.
+func TestGapDigestIsPerReplica(t *testing.T) {
+	net := transport.NewNetwork()
+	defer net.Close()
+	kp0, kp1 := crypto.MustGenerateKeyPair(0), crypto.MustGenerateKeyPair(1)
+	reg := crypto.NewRegistry(kp0, kp1)
+	ids := []crypto.NodeID{0, 1, 2, 3}
+
+	n0, err := New(Config{ID: 0, Replicas: ids}, kp0, reg, net.Endpoint(0), clock.Real{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0.Start()
+	defer n0.Stop()
+	n1, err := New(Config{ID: 1, Replicas: ids}, kp1, reg, net.Endpoint(1), clock.Real{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.Start()
+	defer n1.Stop()
+
+	// Seq 20 maps to block index 2 on a fresh chain: both nodes hit the
+	// execution-gap path and must report distinct divergent digests.
+	d0 := (*pbftApp)(n0).CheckpointDigest(20)
+	d1 := (*pbftApp)(n1).CheckpointDigest(20)
+	if d0 == d1 {
+		t.Fatal("gap checkpoint digests identical across replicas: 2f+1 lagging replicas could certify a phantom state")
+	}
 }
 
 func TestTargetBlockIndex(t *testing.T) {

@@ -98,11 +98,13 @@ type Engine struct {
 	vcAttempts   int
 
 	// Crash-recovery state (see persist.go). pinned maps slots this
-	// replica voted on before a crash to the digest it vouched for, valid
-	// while view == pinnedView. lastNewView retains the certificate that
-	// installed the current view so it can be re-sent to replicas that
-	// missed it; helped rate-limits that to once per (peer, view).
-	pinned      map[uint64]crypto.Digest
+	// replica voted on before a crash to the digest it vouched for (and the
+	// strongest vote kind, so rotation snapshots can restate the pin
+	// faithfully), valid while view == pinnedView. lastNewView retains the
+	// certificate that installed the current view so it can be re-sent to
+	// replicas that missed it; helped rate-limits that to once per
+	// (peer, view).
+	pinned      map[uint64]pin
 	pinnedView  uint64
 	lastNewView *NewView
 	helped      map[crypto.NodeID]uint64
@@ -342,7 +344,7 @@ func (e *Engine) acceptPrePrepare(pp *PrePrepare) []Action {
 		// This replica voted on the slot before its last crash; the WAL
 		// pinned the digest it vouched for. Accepting anything else would
 		// be equivocation, so a conflicting proposal is dropped.
-		if d, ok := e.pinned[pp.Seq]; ok && d != digest {
+		if p, ok := e.pinned[pp.Seq]; ok && p.digest != digest {
 			return nil
 		}
 	}

@@ -1,6 +1,8 @@
 package pbft
 
 import (
+	"sort"
+
 	"zugchain/internal/crypto"
 	"zugchain/internal/wire"
 )
@@ -29,6 +31,14 @@ const (
 	PersistPrePrepare
 	PersistPrepare
 	PersistCommit
+	// PersistPreparedCert carries, in Data, the encoded prepared
+	// certificate (the accepted PrePrepare plus 2f matching Prepares) for
+	// (View, Seq) — written when the slot reaches prepared, before the
+	// Commit is sent. It is the durable form of the view-change P set:
+	// without it a restarted replica's ViewChange would omit every slot it
+	// prepared pre-crash, and overlapping crash-restarts during a view
+	// change could form a NewView that nulls an executed slot.
+	PersistPreparedCert
 )
 
 // PersistRecord is one durable protocol event.
@@ -38,6 +48,15 @@ type PersistRecord struct {
 	Seq          uint64
 	Digest       crypto.Digest
 	InViewChange bool
+	Data         []byte
+}
+
+// pin remembers one pre-crash vote: the digest this replica vouched for at
+// a slot and the strongest vote kind it cast (a PersistPrePrepare pin also
+// fences nextSeq on a restarted primary).
+type pin struct {
+	digest crypto.Digest
+	kind   PersistKind
 }
 
 // Persister writes protocol records to stable storage. Persist must not
@@ -64,6 +83,10 @@ type RestoredState struct {
 	// Pinned are the replayed PrePrepare/Prepare/Commit records; those
 	// matching the restored view pin their slots against equivocation.
 	Pinned []PersistRecord
+	// Certs are the replayed prepared certificates. Restore validates each
+	// one (disk contents are not implicitly trusted) and rebuilds the
+	// view-change P set from the survivors.
+	Certs []PreparedProof
 }
 
 // Restore applies st to a freshly constructed engine, before Start. The
@@ -93,24 +116,106 @@ func (e *Engine) Restore(st RestoredState) {
 		e.nextSeq = e.executed + 1
 	}
 	e.pinnedView = e.view
-	e.pinned = make(map[uint64]crypto.Digest)
+	e.pinned = make(map[uint64]pin)
 	for _, p := range st.Pinned {
 		if p.View != e.view || p.Seq <= e.lowWater {
 			continue
 		}
 		switch p.Kind {
 		case PersistPrePrepare, PersistPrepare, PersistCommit:
-			e.pinned[p.Seq] = p.Digest
 		default:
 			continue
 		}
+		cur := e.pinned[p.Seq]
+		cur.digest = p.Digest
+		if cur.kind != PersistPrePrepare {
+			cur.kind = p.Kind
+		}
+		e.pinned[p.Seq] = cur
 		// A primary must not reassign a sequence number it already
 		// proposed before the crash.
 		if p.Kind == PersistPrePrepare && p.Seq >= e.nextSeq {
 			e.nextSeq = p.Seq + 1
 		}
 	}
+
+	// Rebuild the prepared-certificate P set. Certificates from any view up
+	// to the restored one are admissible; per slot the highest view wins,
+	// matching recordPreparedCert.
+	for i := range st.Certs {
+		p := &st.Certs[i]
+		seq := p.PrePrepare.Seq
+		if seq <= e.lowWater {
+			continue
+		}
+		if err := e.validatePreparedProof(p, e.view+1); err != nil {
+			continue
+		}
+		if cur, ok := e.certs[seq]; ok && cur.PrePrepare.View >= p.PrePrepare.View {
+			continue
+		}
+		cp := *p
+		e.certs[seq] = &cp
+	}
 }
+
+// VoteRecords enumerates every digest this replica currently vouches for at
+// sequence numbers above the stable checkpoint: its own votes in the live
+// instance log plus any still-standing pre-crash pins. The WAL rotation
+// snapshot must include them — votes for slots in (S, S+window] are
+// routinely cast before the checkpoint at S stabilizes, and dropping them
+// from the snapshot would let a crash right after rotation un-pin those
+// slots, re-opening the equivocation the WAL exists to prevent. Safe only
+// from the runner's event loop.
+func (e *Engine) VoteRecords() []PersistRecord {
+	var recs []PersistRecord
+	covered := make(map[uint64]bool, len(e.log))
+	for seq, inst := range e.log {
+		if seq <= e.lowWater || inst.preprepare == nil {
+			continue
+		}
+		if inst.preprepare.Replica == e.cfg.ID {
+			recs = append(recs, PersistRecord{Kind: PersistPrePrepare, View: inst.view, Seq: seq, Digest: inst.digest})
+			covered[seq] = true
+		}
+		if _, ok := inst.prepares[e.cfg.ID]; ok {
+			recs = append(recs, PersistRecord{Kind: PersistPrepare, View: inst.view, Seq: seq, Digest: inst.digest})
+			covered[seq] = true
+		}
+		if _, ok := inst.commits[e.cfg.ID]; ok {
+			recs = append(recs, PersistRecord{Kind: PersistCommit, View: inst.view, Seq: seq, Digest: inst.digest})
+			covered[seq] = true
+		}
+	}
+	if e.pinnedView == e.view {
+		// Pins carried over from the last restart that no live instance
+		// restates yet: still binding, so they roll into the new segment.
+		for seq, p := range e.pinned {
+			if seq <= e.lowWater || covered[seq] {
+				continue
+			}
+			recs = append(recs, PersistRecord{Kind: p.kind, View: e.pinnedView, Seq: seq, Digest: p.digest})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Seq != recs[j].Seq {
+			return recs[i].Seq < recs[j].Seq
+		}
+		return recs[i].Kind < recs[j].Kind
+	})
+	return recs
+}
+
+// PreparedProofs returns the engine's current P set: for every in-flight
+// sequence number above the stable checkpoint, the prepared certificate
+// from the highest view that prepared it. The WAL rotation snapshot carries
+// these so the P set survives a crash after rotation. Safe only from the
+// runner's event loop.
+func (e *Engine) PreparedProofs() []PreparedProof { return e.preparedProofs() }
+
+// PreparedCert returns the recorded prepared certificate for seq, or nil.
+// Safe only from the runner's event loop.
+func (e *Engine) PreparedCert(seq uint64) *PreparedProof { return e.certs[seq] }
 
 // ViewState returns the view fields a PersistView record captures. Safe
 // only from the runner's event loop (Application callbacks or Inspect).
@@ -134,6 +239,27 @@ func DecodeCheckpointProof(data []byte) (CheckpointProof, error) {
 	p := decodeCheckpointProof(d)
 	if err := d.Err(); err != nil {
 		return CheckpointProof{}, err
+	}
+	return p, nil
+}
+
+// EncodePreparedProof serializes a prepared certificate for stable storage.
+func EncodePreparedProof(p *PreparedProof) []byte {
+	enc := wire.NewEncoder(256 + 192*len(p.Prepares))
+	p.encodeTo(enc)
+	out := make([]byte, enc.Len())
+	copy(out, enc.Data())
+	return out
+}
+
+// DecodePreparedProof is the inverse of EncodePreparedProof. The caller
+// still validates the certificate — disk contents are not implicitly
+// trusted (Engine.Restore does this via validatePreparedProof).
+func DecodePreparedProof(data []byte) (PreparedProof, error) {
+	d := wire.NewDecoder(data)
+	p := decodePreparedProof(d)
+	if err := d.Err(); err != nil {
+		return PreparedProof{}, err
 	}
 	return p, nil
 }

@@ -279,6 +279,16 @@ func (r *Runner) persistBatch(actions []Action) []PersistRecord {
 			recs = append(recs, PersistRecord{
 				Kind: PersistCommit, View: m.View, Seq: m.Seq, Digest: m.Digest,
 			})
+			// An outbound commit means the slot just reached prepared: the
+			// certificate (PrePrepare + 2f Prepares) goes to disk with it,
+			// so a restarted replica's ViewChange can still vouch for every
+			// slot it prepared pre-crash (the P set of §4.4).
+			if cert := r.engine.PreparedCert(m.Seq); cert != nil && cert.PrePrepare.View == m.View {
+				recs = append(recs, PersistRecord{
+					Kind: PersistPreparedCert, View: m.View, Seq: m.Seq,
+					Digest: m.Digest, Data: EncodePreparedProof(cert),
+				})
+			}
 		case *ViewChange, *NewView:
 			viewDirty = true
 		}

@@ -70,11 +70,12 @@ func (a *testApp) waitDeliveries(t *testing.T, n int) []DeliverAction {
 }
 
 type runnerCluster struct {
-	net     *transport.Network
-	runners map[crypto.NodeID]*Runner
-	apps    map[crypto.NodeID]*testApp
-	kps     map[crypto.NodeID]*crypto.KeyPair
-	ids     []crypto.NodeID
+	net        *transport.Network
+	runners    map[crypto.NodeID]*Runner
+	apps       map[crypto.NodeID]*testApp
+	kps        map[crypto.NodeID]*crypto.KeyPair
+	ids        []crypto.NodeID
+	persisters map[crypto.NodeID]*capturePersister
 }
 
 func newRunnerCluster(t *testing.T, n int, viewTimeout time.Duration) *runnerCluster {
@@ -85,10 +86,11 @@ func newRunnerCluster(t *testing.T, n int, viewTimeout time.Duration) *runnerClu
 func newRunnerClusterClock(t *testing.T, n int, viewTimeout time.Duration, clk clock.Clock) *runnerCluster {
 	t.Helper()
 	rc := &runnerCluster{
-		net:     transport.NewNetwork(),
-		runners: make(map[crypto.NodeID]*Runner),
-		apps:    make(map[crypto.NodeID]*testApp),
-		kps:     make(map[crypto.NodeID]*crypto.KeyPair),
+		net:        transport.NewNetwork(),
+		runners:    make(map[crypto.NodeID]*Runner),
+		apps:       make(map[crypto.NodeID]*testApp),
+		kps:        make(map[crypto.NodeID]*crypto.KeyPair),
+		persisters: make(map[crypto.NodeID]*capturePersister),
 	}
 	var pairs []*crypto.KeyPair
 	for i := 0; i < n; i++ {
@@ -105,9 +107,11 @@ func newRunnerClusterClock(t *testing.T, n int, viewTimeout time.Duration, clk c
 			t.Fatal(err)
 		}
 		app := newTestApp()
+		persister := &capturePersister{}
 		runner := NewRunner(engine, rc.net.Endpoint(id), clk, app,
-			RunnerConfig{BaseViewTimeout: viewTimeout})
+			RunnerConfig{BaseViewTimeout: viewTimeout, Persister: persister})
 		rc.apps[id] = app
+		rc.persisters[id] = persister
 		rc.runners[id] = runner
 	}
 	for _, id := range rc.ids {

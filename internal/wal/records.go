@@ -30,6 +30,11 @@ const (
 	// KindDedup records one communication-layer dedup window entry:
 	// payload digest Digest was decided at sequence Seq.
 	KindDedup Kind = 6
+	// KindPreparedCert carries an encoded prepared certificate (the
+	// accepted PrePrepare plus 2f matching Prepares) in Data — the
+	// view-change P set entry for (View, Seq), written when the slot
+	// reaches prepared.
+	KindPreparedCert Kind = 7
 )
 
 // Record is one durable WAL entry. Field meaning depends on Kind; unused
@@ -88,7 +93,7 @@ func DecodeRecord(payload []byte) (Record, error) {
 	if d.Remaining() != 0 {
 		return Record{}, fmt.Errorf("wal: %d trailing bytes after record", d.Remaining())
 	}
-	if r.Kind < KindView || r.Kind > KindDedup {
+	if r.Kind < KindView || r.Kind > KindPreparedCert {
 		return Record{}, fmt.Errorf("wal: unknown record kind %d", r.Kind)
 	}
 	return r, nil

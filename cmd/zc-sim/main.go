@@ -56,6 +56,8 @@ func run() error {
 		killNode     = flag.Int("kill", -1, "replica to crash mid-run (-1 = none)")
 		killAfter    = flag.Duration("kill-after", 10*time.Second, "when to crash the -kill replica")
 		restartAfter = flag.Duration("restart-after", 20*time.Second, "when to restart it from its data dir (0 = never)")
+		verifyCache  = flag.Int("verify-cache", 0, "verified-signature cache entries (0 = default 4096, negative = off)")
+		batchVerify  = flag.Bool("batch-verify", true, "verify batched proposals' record signatures in one multi-scalar pass")
 	)
 	flag.Parse()
 
@@ -113,6 +115,9 @@ func run() error {
 			DataDir:       dir,
 			MaxBatch:      *batchSize,
 			MaxBatchDelay: *batchDelay,
+
+			VerifyCacheSize:    *verifyCache,
+			DisableBatchVerify: !*batchVerify,
 		}, kps[id], reg, tr, clock.Real{})
 		if err != nil {
 			return err

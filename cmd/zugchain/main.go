@@ -64,6 +64,8 @@ func run() error {
 		batchDelay  = flag.Duration("batch-delay", 2*time.Millisecond, "max wait before a partial batch is flushed")
 		sendQueue   = flag.Int("send-queue", transport.DefaultSendQueue, "per-peer outbound queue capacity (oldest dropped when full)")
 		flushEvery  = flag.Duration("flush-interval", 0, "linger before flushing partial outbound write batches (0 = flush when idle)")
+		verifyCache = flag.Int("verify-cache", 0, "verified-signature cache entries (0 = default 4096, negative = off)")
+		batchVerify = flag.Bool("batch-verify", true, "verify batched proposals' record signatures in one multi-scalar pass")
 	)
 	flag.Parse()
 
@@ -103,6 +105,9 @@ func run() error {
 		DataCenters:   kr.DataCenterIDs(),
 		MaxBatch:      *batchSize,
 		MaxBatchDelay: *batchDelay,
+
+		VerifyCacheSize:    *verifyCache,
+		DisableBatchVerify: !*batchVerify,
 	}, kp, reg, tr, clock.Real{})
 	if err != nil {
 		return err
@@ -164,12 +169,15 @@ func run() error {
 			store := n.Store()
 			lat := n.Layer().Latency().Stats()
 			ns := tr.NetCounters().Snapshot()
+			cs := n.CryptoStats()
 			log.Printf("chain height=%d base=%d ordered=%d open=%d lat(med)=%v "+
-				"net(queued=%d dropped=%d coalesce=%.1f redials=%d)",
+				"net(queued=%d dropped=%d coalesce=%.1f redials=%d) "+
+				"crypto(batched=%d mean=%.1f scalar=%d cache-hit=%.0f%% evict=%d)",
 				store.HeadIndex(), store.Base(),
 				n.Layer().Counters().Snapshot().Requests,
 				n.Layer().OpenRequests(), lat.Median,
-				ns.QueueDepth, ns.Drops+ns.WriteErrors, ns.CoalesceMean, ns.Redials)
+				ns.QueueDepth, ns.Drops+ns.WriteErrors, ns.CoalesceMean, ns.Redials,
+				cs.BatchedSigs, cs.MeanBatch, cs.ScalarVerifies, cs.HitRate*100, cs.CacheEvictions)
 		}
 	}
 }

@@ -95,6 +95,7 @@ type Node struct {
 	runner  *pbft.Runner
 	reqChan transport.Transport
 	store   *blockchain.Store
+	pool    *crypto.VerifyPool
 
 	mu      sync.Mutex
 	builder *blockchain.Builder
@@ -131,6 +132,17 @@ func (p *pendingReq) stop() {
 // New assembles a baseline node.
 func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Transport, clk clock.Clock) (*Node, error) {
 	cfg.applyDefaults()
+
+	// Same crypto acceleration as a ZugChain node (verified-signature
+	// cache, sign-time seeding): the baseline's client retransmissions are
+	// exactly the traffic the cache absorbs, and keeping the stacks
+	// symmetric keeps the experiment comparison about the protocols, not
+	// about one side paying for repeat verifications.
+	cc := &metrics.CryptoCounters{}
+	vcache := crypto.NewVerifyCache(0, cc)
+	reg = reg.Accelerated(vcache, true, cc)
+	kp = kp.WithCache(vcache)
+
 	store, err := blockchain.NewStore(cfg.DataDir)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: open store: %w", err)
@@ -161,8 +173,13 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 	if err != nil {
 		return nil, err
 	}
+	// One verification pipeline shared by the PBFT runner and the client
+	// request path, mirroring the ZugChain node: inbound Ed25519 checks run
+	// on pool workers, not on the transport delivery goroutine.
+	n.pool = crypto.NewVerifyPool(0)
 	n.runner = pbft.NewRunner(engine, pbftChan, clk, (*baselineApp)(n), pbft.RunnerConfig{
 		BaseViewTimeout: cfg.ViewTimeout,
+		VerifyPool:      n.pool,
 	})
 	return n, nil
 }
@@ -181,6 +198,7 @@ func (n *Node) Stop() {
 		n.open = make(map[crypto.Digest]*pendingReq)
 		n.mu.Unlock()
 		n.runner.Stop()
+		n.pool.Close()
 		n.busWG.Wait()
 	})
 }
@@ -344,21 +362,27 @@ func (n *Node) onClientRequest(from crypto.NodeID, data []byte) {
 	if !ok {
 		return
 	}
-	if pbft.VerifyRequest(&cr.Req, n.reg) != nil {
-		return
-	}
-	n.mu.Lock()
-	primary := n.primary
-	n.mu.Unlock()
-	if primary == n.cfg.ID {
-		n.propose(cr.Req)
-		return
-	}
-	if from == cr.Req.Origin {
-		// Broadcast from the client itself: relay toward the primary so
-		// a censored client cannot be starved.
-		_ = n.reqChan.Send(primary, data)
-	}
+	// The signature check runs on the verify pool (cache-aware via the
+	// accelerated registry: a retransmitted request costs a map lookup, not
+	// a scalar multiplication); the continuation re-reads node state because
+	// the primary may have changed while the check was queued.
+	n.pool.Submit(func() {
+		if pbft.VerifyRequest(&cr.Req, n.reg) != nil {
+			return
+		}
+		n.mu.Lock()
+		primary := n.primary
+		n.mu.Unlock()
+		if primary == n.cfg.ID {
+			n.propose(cr.Req)
+			return
+		}
+		if from == cr.Req.Origin {
+			// Broadcast from the client itself: relay toward the primary so
+			// a censored client cannot be starved.
+			_ = n.reqChan.Send(primary, data)
+		}
+	})
 }
 
 // RunBus consumes frames from reader until ctx is cancelled.

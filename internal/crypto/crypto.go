@@ -15,6 +15,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"zugchain/internal/metrics"
 )
 
 // NodeID identifies a participant: a ZugChain replica or a data center.
@@ -61,6 +63,11 @@ type KeyPair struct {
 	ID      NodeID
 	Public  ed25519.PublicKey
 	private ed25519.PrivateKey
+
+	// cache, when set via WithCache, is seeded on Sign so this node's own
+	// signatures are already "verified" if they echo back (a primary
+	// re-checking its own proposal, loopback delivery, state transfer).
+	cache *VerifyCache
 }
 
 // GenerateKeyPair creates a fresh Ed25519 key pair for id. If rng is nil,
@@ -93,9 +100,23 @@ func MustGenerateKeyPair(id NodeID) *KeyPair {
 	return kp
 }
 
-// Sign signs msg with the node's private key.
+// Sign signs msg with the node's private key. If the pair carries a verify
+// cache (WithCache), the fresh signature is recorded as verified — the node
+// trusts its own key, so re-encountering the signature later (loopback,
+// retransmit, NEWVIEW carrying its own request) must not cost a scalar
+// multiplication.
 func (k *KeyPair) Sign(msg []byte) []byte {
-	return ed25519.Sign(k.private, msg)
+	sig := ed25519.Sign(k.private, msg)
+	k.cache.Note(k.ID, Hash(msg), sig)
+	return sig
+}
+
+// WithCache returns a copy of k that seeds cache on every Sign. The original
+// pair is unchanged.
+func (k *KeyPair) WithCache(cache *VerifyCache) *KeyPair {
+	clone := *k
+	clone.cache = cache
+	return &clone
 }
 
 // Registry maps node IDs to public keys and verifies signatures. It is
@@ -108,20 +129,43 @@ func (k *KeyPair) Sign(msg []byte) []byte {
 // atomically by Add (copy-on-write). Verify sits on the consensus hot path
 // and runs concurrently on the verification pool's workers; keys change only
 // at setup, so writes may pay for the copy.
+//
+// The key set lives behind pointers so Accelerated can hand out views that
+// share one set of keys while carrying their own verified-signature cache and
+// counters (each node caches independently; the cluster's keys are one
+// object).
 type Registry struct {
-	mu   sync.Mutex // serializes writers (Add); readers never take it
-	keys atomic.Pointer[map[NodeID]ed25519.PublicKey]
+	mu   *sync.Mutex // serializes writers (Add); readers never take it
+	keys *atomic.Pointer[map[NodeID]ed25519.PublicKey]
+
+	// Acceleration state, set by Accelerated. cache memoizes successful
+	// verifications (nil disables); batch enables the multi-scalar batch
+	// equation in BatchVerifier; cc receives instrumentation (nil discards).
+	cache *VerifyCache
+	batch bool
+	cc    *metrics.CryptoCounters
 }
 
 // NewRegistry builds a registry from the given key pairs' public halves.
+// Batch verification is enabled by default; there is no cache until
+// Accelerated attaches one.
 func NewRegistry(pairs ...*KeyPair) *Registry {
 	keys := make(map[NodeID]ed25519.PublicKey, len(pairs))
 	for _, kp := range pairs {
 		keys[kp.ID] = kp.Public
 	}
-	r := &Registry{}
+	r := &Registry{mu: &sync.Mutex{}, keys: &atomic.Pointer[map[NodeID]ed25519.PublicKey]{}, batch: true}
 	r.keys.Store(&keys)
 	return r
+}
+
+// Accelerated returns a view of r with the given verified-signature cache,
+// batch-verification switch, and counters. The view shares r's key set —
+// Add through either is visible to both — but caches and counts
+// independently, so co-located nodes (tests, in-process benchmarks) can share
+// keys without sharing verification state. cache and cc may be nil.
+func (r *Registry) Accelerated(cache *VerifyCache, batchVerify bool, cc *metrics.CryptoCounters) *Registry {
+	return &Registry{mu: r.mu, keys: r.keys, cache: cache, batch: batchVerify, cc: cc}
 }
 
 // snapshot returns the current immutable key set. Callers must not mutate it.
@@ -166,14 +210,40 @@ func (r *Registry) Len() int {
 	return len(r.snapshot())
 }
 
-// Verify checks that sig is a valid signature by id over msg.
+// Verify checks that sig is a valid signature by id over msg. When the
+// registry carries a verified-signature cache, a previously verified
+// (id, msg, sig) triple returns immediately without touching the curve;
+// fresh successes are recorded for next time. Hashing msg for the cache key
+// costs ~1% of the scalar multiplication it saves on a hit.
 func (r *Registry) Verify(id NodeID, msg, sig []byte) error {
 	pub, ok := r.PublicKey(id)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownSigner, id)
 	}
-	if len(sig) != ed25519.SignatureSize || !ed25519.Verify(pub, msg, sig) {
+	if len(sig) != ed25519.SignatureSize {
 		return fmt.Errorf("%w: from %v", ErrInvalidSignature, id)
 	}
+	var d Digest
+	if r.cache != nil {
+		d = Hash(msg)
+		if r.cache.Seen(id, d, sig) {
+			return nil
+		}
+	}
+	r.cc.AddScalarVerify()
+	if !ed25519.Verify(pub, msg, sig) {
+		return fmt.Errorf("%w: from %v", ErrInvalidSignature, id)
+	}
+	r.cache.Note(id, d, sig)
 	return nil
 }
+
+// Counters returns the registry's crypto instrumentation, if any.
+func (r *Registry) Counters() *metrics.CryptoCounters { return r.cc }
+
+// Cache returns the registry's verified-signature cache, if any.
+func (r *Registry) Cache() *VerifyCache { return r.cache }
+
+// BatchEnabled reports whether NewBatchVerifier will use the multi-scalar
+// batch equation (true) or fall back to sequential scalar verifies (false).
+func (r *Registry) BatchEnabled() bool { return r.batch }

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The ZugChain Authors. All rights reserved.
+// Use of this source code is governed by a BSD-style
+// license that can be found in the LICENSE file.
+
+package edwards25519
+
+// VarTimeMultiScalarBaseMult sets and returns
+//
+//	v = b * B + scalars[0] * points[0] + ... + scalars[n-1] * points[n-1]
+//
+// where B is the canonical generator. It generalizes
+// VarTimeDoubleScalarBaseMult to any number of dynamic points: one shared
+// run of 256 doublings amortizes over all terms (Straus' trick), which is
+// what makes verifying n Ed25519 signatures in one pass cheaper than n
+// independent double-scalar multiplications.
+//
+// Execution time depends on the inputs; callers must only use it with
+// public data (signature verification is — signatures, public keys and
+// messages are all attacker-visible).
+func (v *Point) VarTimeMultiScalarBaseMult(b *Scalar, scalars []*Scalar, points []*Point) *Point {
+	if len(scalars) != len(points) {
+		panic("edwards25519: mismatched multiscalar slice lengths")
+	}
+	checkInitialized(points...)
+
+	// Per dynamic point a width-5 NAF and its odd-multiples table; the
+	// fixed basepoint affords the precomputed width-8 table, exactly as in
+	// VarTimeDoubleScalarBaseMult.
+	n := len(points)
+	tables := make([]nafLookupTable5, n)
+	nafs := make([][256]int8, n)
+	for j := range points {
+		tables[j].FromP3(points[j])
+		nafs[j] = scalars[j].nonAdjacentForm(5)
+	}
+	basepointNafTable := basepointNafTable()
+	bNaf := b.nonAdjacentForm(8)
+
+	multP := &projCached{}
+	multB := &affineCached{}
+	tmp1 := &projP1xP1{}
+	tmp2 := &projP2{}
+	tmp2.Zero()
+
+	// High to low: double the shared accumulator once per bit, then fold in
+	// whichever terms have a nonzero NAF coefficient at this position.
+	for i := 255; i >= 0; i-- {
+		tmp1.Double(tmp2)
+
+		for j := 0; j < n; j++ {
+			if c := nafs[j][i]; c > 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(multP, c)
+				tmp1.Add(v, multP)
+			} else if c < 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(multP, -c)
+				tmp1.Sub(v, multP)
+			}
+		}
+
+		if c := bNaf[i]; c > 0 {
+			v.fromP1xP1(tmp1)
+			basepointNafTable.SelectInto(multB, c)
+			tmp1.AddAffine(v, multB)
+		} else if c < 0 {
+			v.fromP1xP1(tmp1)
+			basepointNafTable.SelectInto(multB, -c)
+			tmp1.SubAffine(v, multB)
+		}
+
+		tmp2.FromP1xP1(tmp1)
+	}
+
+	v.fromP2(tmp2)
+	return v
+}

@@ -105,6 +105,66 @@ func (p *VerifyPool) Submit(fn func()) {
 	}
 }
 
+// RunChunks partitions [0, n) into spans of at most chunk items and runs
+// fn(lo, hi) over every span, spreading the spans across the pool's workers,
+// and returns once all spans have completed. It exists so a large signature
+// batch (a 4096-record PrePrepare) does not serialize on the one pool worker
+// that picked up its verify task.
+//
+// Unlike a naive Submit-and-WaitGroup fan-out, RunChunks is safe to call from
+// inside a pool worker: spans are claimed from a shared atomic counter, the
+// caller claims and runs spans itself alongside the helpers, and the wait is
+// only for spans actually *executing* — a helper task that never leaves the
+// queue (all workers busy, queue saturated) is harmless because the caller
+// will have claimed its spans by then. No pool worker ever blocks on work
+// that is stuck behind it.
+func (p *VerifyPool) RunChunks(n, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	spans := (n + chunk - 1) / chunk
+	if spans == 1 || p == nil || p.closed.Load() {
+		fn(0, n)
+		return
+	}
+
+	var next atomic.Int64 // next unclaimed span
+	var done atomic.Int64 // completed spans
+	finished := make(chan struct{})
+	run := func() {
+		for {
+			s := int(next.Add(1)) - 1
+			if s >= spans {
+				return
+			}
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+			if int(done.Add(1)) == spans {
+				close(finished)
+			}
+		}
+	}
+
+	// One helper per span beyond the caller's own, capped at the worker
+	// count; more could never run concurrently anyway.
+	helpers := spans - 1
+	if helpers > p.workers {
+		helpers = p.workers
+	}
+	for i := 0; i < helpers; i++ {
+		p.Submit(run)
+	}
+	run()
+	<-finished
+}
+
 // VerifyAsync checks that sig is a valid signature by id over msg, delivering
 // the verdict to done from a worker goroutine (or the caller's, under
 // backpressure). done must not block.

@@ -112,6 +112,130 @@ func (s CounterSnapshot) CPUWorkUnits() float64 {
 		byteCost*float64(s.BytesSent+s.BytesReceived)
 }
 
+// CryptoCounters instruments the Ed25519 acceleration layer: how many
+// signatures settled via the batched multi-scalar equation versus individual
+// scalar verifies, how often a failed batch had to bisect to find the corrupt
+// entries, and the verified-signature cache's hit/miss/eviction traffic. Like
+// PoolCounters it keeps O(1) state so it can sit on the verification hot
+// path. All methods are safe for concurrent use and nil-safe (a nil receiver
+// records nothing), so uninstrumented registries pay only a nil check; the
+// zero value is ready to use.
+type CryptoCounters struct {
+	scalarVerifies atomic.Uint64
+	batchedSigs    atomic.Uint64
+	batchOps       atomic.Uint64
+	batchMax       atomic.Int64
+	bisections     atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	cacheEvictions atomic.Uint64
+}
+
+// AddScalarVerify records one individual ed25519.Verify execution (a
+// non-batched check, or a bisection leaf).
+func (c *CryptoCounters) AddScalarVerify() {
+	if c == nil {
+		return
+	}
+	c.scalarVerifies.Add(1)
+}
+
+// RecordBatch records one batched verification equation covering n
+// signatures.
+func (c *CryptoCounters) RecordBatch(n int) {
+	if c == nil {
+		return
+	}
+	c.batchOps.Add(1)
+	c.batchedSigs.Add(uint64(n))
+	v := int64(n)
+	for {
+		cur := c.batchMax.Load()
+		if v <= cur || c.batchMax.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// AddBisection records one bisection split while pinpointing corrupt
+// signatures in a failed batch.
+func (c *CryptoCounters) AddBisection() {
+	if c == nil {
+		return
+	}
+	c.bisections.Add(1)
+}
+
+// AddCacheHit records one verified-signature cache hit (a skipped verify).
+func (c *CryptoCounters) AddCacheHit() {
+	if c == nil {
+		return
+	}
+	c.cacheHits.Add(1)
+}
+
+// AddCacheMiss records one verified-signature cache miss.
+func (c *CryptoCounters) AddCacheMiss() {
+	if c == nil {
+		return
+	}
+	c.cacheMisses.Add(1)
+}
+
+// AddCacheEviction records one entry evicted by the cache's LRU bound.
+func (c *CryptoCounters) AddCacheEviction() {
+	if c == nil {
+		return
+	}
+	c.cacheEvictions.Add(1)
+}
+
+// CryptoSnapshot is a point-in-time copy of CryptoCounters.
+type CryptoSnapshot struct {
+	// ScalarVerifies counts individual ed25519.Verify executions;
+	// BatchedSigs the signatures settled through batch equations instead.
+	ScalarVerifies uint64
+	BatchedSigs    uint64
+	// BatchOps counts batch equations evaluated; MeanBatch =
+	// BatchedSigs/BatchOps; BatchMax the largest single equation.
+	BatchOps  uint64
+	MeanBatch float64
+	BatchMax  int64
+	// Bisections counts fallback splits hunting corrupt entries.
+	Bisections uint64
+	// CacheHits/CacheMisses/CacheEvictions describe the verified-signature
+	// cache; HitRate = CacheHits / (CacheHits + CacheMisses).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	HitRate        float64
+}
+
+// Snapshot returns the current crypto counter values. A nil receiver yields
+// the zero snapshot.
+func (c *CryptoCounters) Snapshot() CryptoSnapshot {
+	if c == nil {
+		return CryptoSnapshot{}
+	}
+	s := CryptoSnapshot{
+		ScalarVerifies: c.scalarVerifies.Load(),
+		BatchedSigs:    c.batchedSigs.Load(),
+		BatchOps:       c.batchOps.Load(),
+		BatchMax:       c.batchMax.Load(),
+		Bisections:     c.bisections.Load(),
+		CacheHits:      c.cacheHits.Load(),
+		CacheMisses:    c.cacheMisses.Load(),
+		CacheEvictions: c.cacheEvictions.Load(),
+	}
+	if s.BatchOps > 0 {
+		s.MeanBatch = float64(s.BatchedSigs) / float64(s.BatchOps)
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.HitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	return s
+}
+
 // PoolCounters instruments an asynchronous worker pool (the signature
 // verification pipeline): how many tasks ran on pool workers versus inline on
 // the submitting goroutine, the current and peak queue depth, and

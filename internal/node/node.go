@@ -19,6 +19,7 @@ import (
 	"zugchain/internal/core"
 	"zugchain/internal/crypto"
 	"zugchain/internal/export"
+	"zugchain/internal/metrics"
 	"zugchain/internal/mvb"
 	"zugchain/internal/pbft"
 	"zugchain/internal/signal"
@@ -83,6 +84,13 @@ type Config struct {
 	// rounds the fetcher attempts before parking (a later divergence
 	// event re-arms it); default 10.
 	StateRetryRounds int
+	// VerifyCacheSize bounds the verified-signature cache: 0 selects
+	// crypto.DefaultVerifyCacheSize, negative disables the cache.
+	VerifyCacheSize int
+	// DisableBatchVerify turns off the Ed25519 multi-scalar batch
+	// verification of batched proposals' inner signatures, falling back to
+	// sequential scalar verifies (for debugging and A/B measurement).
+	DisableBatchVerify bool
 }
 
 // walDir returns the effective WAL directory, empty when disabled.
@@ -129,6 +137,7 @@ type Node struct {
 	kp  *crypto.KeyPair
 	reg *crypto.Registry
 	clk clock.Clock
+	cc  *metrics.CryptoCounters
 
 	mux    *transport.Mux
 	pool   *crypto.VerifyPool
@@ -161,6 +170,22 @@ type Node struct {
 // protocol channels internally).
 func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Transport, clk clock.Clock) (*Node, error) {
 	cfg.applyDefaults()
+
+	// Crypto acceleration (DESIGN.md §3.11): every verification this node
+	// performs goes through an accelerated registry view — a per-node
+	// verified-signature cache plus batch verification for batched
+	// proposals — and the node's own signatures seed the cache at Sign
+	// time. The view shares the caller's key set, so co-located nodes
+	// (tests, simulations) still see one keyring while caching
+	// independently, as separate machines would.
+	cc := &metrics.CryptoCounters{}
+	var vcache *crypto.VerifyCache
+	if cfg.VerifyCacheSize >= 0 {
+		vcache = crypto.NewVerifyCache(cfg.VerifyCacheSize, cc)
+	}
+	reg = reg.Accelerated(vcache, !cfg.DisableBatchVerify, cc)
+	kp = kp.WithCache(vcache)
+
 	store, err := blockchain.NewStore(cfg.DataDir)
 	if err != nil {
 		return nil, fmt.Errorf("node: open store: %w", err)
@@ -171,6 +196,7 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 		kp:      kp,
 		reg:     reg,
 		clk:     clk,
+		cc:      cc,
 		store:   store,
 		filters: make(map[int]*signal.Filter),
 		quit:    make(chan struct{}),
@@ -288,6 +314,10 @@ func (n *Node) Runner() *pbft.Runner { return n.runner }
 // VerifyPool exposes the node's signature-verification pipeline (stats,
 // inspection).
 func (n *Node) VerifyPool() *crypto.VerifyPool { return n.pool }
+
+// CryptoStats returns the node's crypto acceleration counters: batch
+// verification shape and verified-signature cache traffic.
+func (n *Node) CryptoStats() metrics.CryptoSnapshot { return n.cc.Snapshot() }
 
 // ExportServer exposes the export server.
 func (n *Node) ExportServer() *export.Server { return n.srv }

@@ -48,13 +48,22 @@ func newCluster(t *testing.T, tweak func(*Config), faults []mvb.FaultConfig) *cl
 
 	ctx, cancel := context.WithCancel(context.Background())
 	c.cancel = cancel
+	// Under the race detector on a loaded single-core host, message handling
+	// can take longer than these production-scale timeouts, and a cluster
+	// whose view timeout fires faster than a view change completes livelocks
+	// in a view-change storm until the CPU frees up. Scale the timeouts like
+	// tickUntilBlocks scales its deadlines.
+	scale := time.Duration(1)
+	if raceEnabled {
+		scale = 5
+	}
 	for i, id := range ids {
 		cfg := Config{
 			ID:          id,
 			Replicas:    ids,
-			SoftTimeout: 200 * time.Millisecond,
-			HardTimeout: 200 * time.Millisecond,
-			ViewTimeout: 400 * time.Millisecond,
+			SoftTimeout: scale * 200 * time.Millisecond,
+			HardTimeout: scale * 200 * time.Millisecond,
+			ViewTimeout: scale * 400 * time.Millisecond,
 		}
 		if tweak != nil {
 			tweak(&cfg)

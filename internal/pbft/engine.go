@@ -329,7 +329,9 @@ func (e *Engine) onPrePrepare(pp *PrePrepare, reqVerified bool) []Action {
 		return nil
 	}
 	if !reqVerified {
-		if err := VerifyRequestDeep(&pp.Req, e.reg); err != nil {
+		// Synchronous path (no runner/pool in front): verify on the loop,
+		// still batching the inner signatures in one pass.
+		if err := VerifyRequestDeep(&pp.Req, e.reg, nil); err != nil {
 			return nil
 		}
 	}

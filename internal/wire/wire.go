@@ -31,6 +31,11 @@ var (
 	// ErrTrailingBytes is returned by Unmarshal when input remains after a
 	// complete message has been decoded.
 	ErrTrailingBytes = errors.New("wire: trailing bytes after message")
+	// ErrNonCanonical is returned when input decodes to a value whose
+	// re-encoding would differ from the input — a padded varint or an
+	// out-of-range boolean byte. Rejecting these keeps every value to one
+	// wire form, so digests and signatures over encodings are unambiguous.
+	ErrNonCanonical = errors.New("wire: non-canonical encoding")
 )
 
 // MaxElementSize bounds any single length-prefixed element. It protects
@@ -168,8 +173,20 @@ func (d *Decoder) Byte() byte {
 	return b[0]
 }
 
-// Bool reads a boolean encoded as one byte. Any nonzero byte is true.
-func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+// Bool reads a boolean encoded as one byte. Only 0 and 1 are accepted —
+// Encoder.Bool never writes anything else, and admitting other bytes would
+// give true a second wire form (ErrNonCanonical).
+func (d *Decoder) Bool() bool {
+	switch d.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail(ErrNonCanonical)
+		return false
+	}
+}
 
 // Uint16 reads a fixed-width little-endian uint16.
 func (d *Decoder) Uint16() uint16 {
@@ -204,7 +221,11 @@ func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
 // Float64 reads an IEEE-754 double.
 func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
 
-// Uvarint reads an unsigned varint.
+// Uvarint reads an unsigned varint. Only the minimal encoding is accepted:
+// binary.Uvarint also consumes zero-padded forms (0x80 0x00 for 0), which
+// would let one value travel under several wire encodings (ErrNonCanonical).
+// A minimal varint's final byte is nonzero unless the whole value is one
+// byte.
 func (d *Decoder) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
@@ -212,6 +233,10 @@ func (d *Decoder) Uvarint() uint64 {
 	v, n := binary.Uvarint(d.buf[d.off:])
 	if n <= 0 {
 		d.fail(ErrShortBuffer)
+		return 0
+	}
+	if n > 1 && d.buf[d.off+n-1] == 0 {
+		d.fail(ErrNonCanonical)
 		return 0
 	}
 	d.off += n

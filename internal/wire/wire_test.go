@@ -296,3 +296,49 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 	}()
 	Register(testMsgType, func() Message { return new(testMsg) })
 }
+
+// TestDecoderNonCanonical checks that values with more than one plausible
+// wire form are pinned to the one the encoder produces: zero-padded varints
+// and boolean bytes other than 0/1 must be rejected, so a digest or
+// signature over an encoding identifies exactly one value.
+func TestDecoderNonCanonical(t *testing.T) {
+	t.Run("padded uvarint", func(t *testing.T) {
+		for _, in := range [][]byte{
+			{0x80, 0x00},       // 0, padded to two bytes
+			{0xb0, 0x00},       // 48, padded to two bytes
+			{0x80, 0x80, 0x00}, // 0, padded to three bytes
+			{0xff, 0x80, 0x00}, // 127, padded to three bytes
+		} {
+			d := NewDecoder(in)
+			d.Uvarint()
+			if !errors.Is(d.Err(), ErrNonCanonical) {
+				t.Errorf("Uvarint(%x): err = %v, want ErrNonCanonical", in, d.Err())
+			}
+		}
+	})
+	t.Run("minimal uvarint still accepted", func(t *testing.T) {
+		for _, v := range []uint64{0, 1, 127, 128, 300, 1 << 20, math.MaxUint64} {
+			e := NewEncoder(0)
+			e.Uvarint(v)
+			d := NewDecoder(e.Data())
+			if got := d.Uvarint(); got != v || d.Err() != nil {
+				t.Errorf("round trip %d: got %d, err %v", v, got, d.Err())
+			}
+		}
+	})
+	t.Run("bool", func(t *testing.T) {
+		for b := 2; b < 256; b += 51 {
+			d := NewDecoder([]byte{byte(b)})
+			d.Bool()
+			if !errors.Is(d.Err(), ErrNonCanonical) {
+				t.Errorf("Bool(0x%02x): err = %v, want ErrNonCanonical", b, d.Err())
+			}
+		}
+		for b, want := range map[byte]bool{0: false, 1: true} {
+			d := NewDecoder([]byte{b})
+			if got := d.Bool(); got != want || d.Err() != nil {
+				t.Errorf("Bool(0x%02x) = %v, err %v", b, got, d.Err())
+			}
+		}
+	})
+}

@@ -3,7 +3,6 @@ package crypto
 import (
 	"crypto/ed25519"
 	"crypto/rand"
-	"crypto/sha512"
 	"crypto/subtle"
 
 	"zugchain/internal/crypto/edwards25519"
@@ -42,20 +41,24 @@ type batchEntry struct {
 // BatchVerifier settles N Ed25519 signature checks in one multi-scalar
 // multiplication pass. Instead of N independent double-scalar
 // multiplications it draws random 128-bit coefficients z_i and checks the
-// single cofactorless equation
+// single cofactored equation
 //
-//	(Σ z_i·s_i)·B  =  Σ z_i·R_i + Σ (z_i·k_i)·A_i
+//	[8]( Σ z_i·R_i + Σ (z_i·k_i)·A_i − (Σ z_i·s_i)·B )  ==  identity
 //
 // whose 256 accumulator doublings are shared across all terms (Straus'
 // trick). A batch that fails bisects — halves re-checked by the same
-// equation, single-entry leaves by crypto/ed25519.Verify — so Verify always
+// equation, single-entry leaves by VerifySignature — so Verify always
 // pinpoints exactly which signatures are corrupt.
 //
-// The verifier deliberately uses the cofactorless equation (no multiplication
-// by 8) plus a canonical-encoding round-trip check on R, so its accept set
-// coincides with Go's crypto/ed25519.Verify except with probability 2^-128
-// over the z_i. Cached and structurally invalid entries are settled at Add
-// time and never touch the curve.
+// The multiplication by the cofactor 8 is what makes batching sound: it
+// clears small-order torsion components identically here and in the
+// single-signature equation, so the batch accept set equals VerifySignature's
+// except with probability 2^-128 over the z_i — independent of torsion
+// defects an adversarial signer may plant (see VerifySignature for why the
+// cofactorless crypto/ed25519.Verify equation cannot be batched). Canonical
+// encodings of R and s are still required, checked at Add time. Cached and
+// structurally invalid entries are settled at Add time and never touch the
+// curve.
 //
 // A BatchVerifier is single-use and not safe for concurrent use; each
 // goroutine (e.g. each verify-pool chunk) builds its own.
@@ -87,7 +90,7 @@ func (v *BatchVerifier) Add(id NodeID, msg, sig []byte) {
 
 	if v.reg.cache != nil {
 		e.d = Hash(msg)
-		if v.reg.cache.Seen(id, e.d, sig) {
+		if v.reg.cache.Seen(id, pub, e.d, sig) {
 			e.cached = true
 			return
 		}
@@ -98,12 +101,10 @@ func (v *BatchVerifier) Add(id NodeID, msg, sig []byte) {
 		return
 	}
 
-	// Parse the curve elements. Any failure here is a failure in
-	// ed25519.Verify too: it rejects undecodable keys and commitments, and
-	// non-canonical s. SetBytes accepts non-canonical point encodings, but a
-	// signature whose R encoding is non-canonical can never equal the
-	// canonical encoding ed25519.Verify recomputes — the round-trip
-	// comparison keeps the accept sets identical.
+	// Parse the curve elements, mirroring VerifySignature's structural
+	// rejections exactly: undecodable keys and commitments, a non-canonical
+	// R encoding (SetBytes accepts them, the round-trip comparison rejects),
+	// and a non-canonical s all fail on both paths.
 	e.A = new(edwards25519.Point)
 	e.R = new(edwards25519.Point)
 	e.S = new(edwards25519.Scalar)
@@ -123,17 +124,7 @@ func (v *BatchVerifier) Add(id NodeID, msg, sig []byte) {
 		e.bad = true
 		return
 	}
-
-	h := sha512.New()
-	h.Write(sig[:32])
-	h.Write(pub)
-	h.Write(msg)
-	var digest [64]byte
-	e.k = new(edwards25519.Scalar)
-	if _, err := e.k.SetUniformBytes(h.Sum(digest[:0])); err != nil {
-		// Unreachable: SetUniformBytes only rejects wrong lengths.
-		e.bad = true
-	}
+	e.k = challengeScalar(sig[:32], pub, msg)
 }
 
 // Len reports how many checks have been queued.
@@ -176,7 +167,7 @@ func (v *BatchVerifier) Verify() []int {
 		}
 	} else {
 		for _, e := range live {
-			v.reg.cache.Note(e.id, e.d, e.sig)
+			v.reg.cache.Note(e.id, e.pub, e.d, e.sig)
 		}
 	}
 	sortInts(failed)
@@ -210,7 +201,10 @@ func (v *BatchVerifier) assignCoefficients(live []*batchEntry) bool {
 // have parsed curve elements and coefficients assigned. Rearranged for the
 // multiscalar primitive: with bCoeff = −Σ z_i·s_i the equation holds iff
 //
-//	bCoeff·B + Σ z_i·R_i + Σ (z_i·k_i)·A_i  ==  identity.
+//	[8]( bCoeff·B + Σ z_i·R_i + Σ (z_i·k_i)·A_i )  ==  identity,
+//
+// the final MultByCofactor clearing any small-order torsion exactly as
+// VerifySignature's single equation does.
 //
 // Entries signed by the same public key share one A term with coefficient
 // Σ z_i·k_i — algebraically identical, but it collapses the dominant cost of
@@ -239,14 +233,15 @@ func batchCheck(entries []*batchEntry) bool {
 	}
 	bCoeff.Negate(bCoeff)
 	p := new(edwards25519.Point).VarTimeMultiScalarBaseMult(bCoeff, scalars, points)
+	p.MultByCofactor(p)
 	return p.Equal(edwards25519.NewIdentityPoint()) == 1
 }
 
 // bisect pinpoints the corrupt entries of a batch that failed batchCheck,
 // returning their positions within live. Halves are re-tested with the batch
 // equation (reusing the already-drawn z_i); single entries are settled by
-// crypto/ed25519.Verify, which is the ground truth — so the result is exact,
-// never probabilistic.
+// the cofactored single equation, which is the ground truth — so the result
+// is exact, never probabilistic.
 func (v *BatchVerifier) bisect(live []*batchEntry) []int {
 	if len(live) == 1 {
 		if v.scalarVerify(live[0]) {
@@ -262,7 +257,7 @@ func (v *BatchVerifier) bisect(live []*batchEntry) []int {
 			v.reg.cc.RecordBatch(len(entries))
 			if batchCheck(entries) {
 				for _, e := range entries {
-					v.reg.cache.Note(e.id, e.d, e.sig)
+					v.reg.cache.Note(e.id, e.pub, e.d, e.sig)
 				}
 				return
 			}
@@ -276,14 +271,21 @@ func (v *BatchVerifier) bisect(live []*batchEntry) []int {
 	return failed
 }
 
-// scalarVerify settles one entry with crypto/ed25519.Verify, feeding the
-// cache on success.
+// scalarVerify settles one entry with the cofactored single equation
+// (VerifySignature's accept set), feeding the cache on success. Entries that
+// already carry parsed curve elements (batch path) skip re-parsing.
 func (v *BatchVerifier) scalarVerify(e *batchEntry) bool {
 	v.reg.cc.AddScalarVerify()
-	if !ed25519.Verify(e.pub, e.msg, e.sig) {
+	var ok bool
+	if e.k != nil {
+		ok = cofactoredEqual(e.A, e.R, e.S, e.k)
+	} else {
+		ok = VerifySignature(e.pub, e.msg, e.sig)
+	}
+	if !ok {
 		return false
 	}
-	v.reg.cache.Note(e.id, e.d, e.sig)
+	v.reg.cache.Note(e.id, e.pub, e.d, e.sig)
 	return true
 }
 

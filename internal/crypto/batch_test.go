@@ -155,10 +155,12 @@ func TestBatchVerifyFeedsCache(t *testing.T) {
 
 // FuzzBatchVerify feeds the batch verifier pseudo-random mixes of valid,
 // corrupted, and cross-wired signatures and asserts (a) every verdict agrees
-// with crypto/ed25519.Verify, and (b) the bisection names exactly the corrupt
-// indices. This is the agreement property the accelerator's safety rests on:
-// the batch equation must accept precisely the signatures the scalar path
-// accepts.
+// with VerifySignature — the cofactored scalar path every replica runs, the
+// agreement property the accelerator's safety rests on — and (b) also with
+// crypto/ed25519.Verify, since for honest and randomly corrupted signatures
+// the cofactored and cofactorless accept sets coincide (they diverge only on
+// deliberately crafted small-order-torsion inputs, which random corruption
+// cannot produce and TestTorsionSignatureDeterministic covers).
 func FuzzBatchVerify(f *testing.F) {
 	f.Add(int64(1), uint8(8), uint8(0))
 	f.Add(int64(2), uint8(64), uint8(3))
@@ -215,8 +217,11 @@ func FuzzBatchVerify(f *testing.F) {
 		}
 		for i := range msgs {
 			pub, _ := reg.PublicKey(ids[i])
-			want := ed25519.Verify(pub, msgs[i], sigs[i])
-			if got := !failedSet[i]; got != want {
+			got := !failedSet[i]
+			if want := VerifySignature(pub, msgs[i], sigs[i]); got != want {
+				t.Fatalf("index %d: batch verdict %v, VerifySignature %v (failed=%v)", i, got, want, failed)
+			}
+			if want := ed25519.Verify(pub, msgs[i], sigs[i]); got != want {
 				t.Fatalf("index %d: batch verdict %v, ed25519.Verify %v (failed=%v)", i, got, want, failed)
 			}
 		}

@@ -2,6 +2,7 @@ package crypto
 
 import (
 	"container/list"
+	"crypto/ed25519"
 	"sync"
 
 	"zugchain/internal/metrics"
@@ -21,8 +22,13 @@ const verifyCacheShards = 8
 // of the key on purpose: an attacker replaying a known-good (signer, digest)
 // pair with a forged signature misses the cache and falls through to a real
 // verify, so a cache entry can never launder a bad signature (anti-poisoning).
+// The public key the signature verified under is part of the key too, so if
+// Registry.Add ever replaces a node's key, every entry proved under the old
+// key silently stops hitting — no invalidation protocol needed, across every
+// Accelerated view sharing the key set.
 type cacheKey struct {
 	id  NodeID
+	pub [ed25519.PublicKeySize]byte
 	d   Digest
 	sig [SignatureSize]byte
 }
@@ -72,13 +78,14 @@ func (c *VerifyCache) shard(k *cacheKey) *cacheShard {
 	return &c.shards[uint(k.d[0])&(verifyCacheShards-1)]
 }
 
-// Seen reports whether (id, digest, sig) was previously verified, refreshing
-// its LRU position on a hit.
-func (c *VerifyCache) Seen(id NodeID, d Digest, sig []byte) bool {
-	if c == nil || len(sig) != SignatureSize {
+// Seen reports whether (id, digest, sig) was previously verified under pub,
+// refreshing its LRU position on a hit.
+func (c *VerifyCache) Seen(id NodeID, pub ed25519.PublicKey, d Digest, sig []byte) bool {
+	if c == nil || len(sig) != SignatureSize || len(pub) != ed25519.PublicKeySize {
 		return false
 	}
 	k := cacheKey{id: id, d: d}
+	copy(k.pub[:], pub)
 	copy(k.sig[:], sig)
 	s := c.shard(&k)
 	s.mu.Lock()
@@ -95,14 +102,15 @@ func (c *VerifyCache) Seen(id NodeID, d Digest, sig []byte) bool {
 	return ok
 }
 
-// Note records a successful verification of (id, digest, sig), evicting the
-// least recently used entry of the shard if it is full. Callers must only
-// invoke it after sig actually verified (or was produced locally).
-func (c *VerifyCache) Note(id NodeID, d Digest, sig []byte) {
-	if c == nil || len(sig) != SignatureSize {
+// Note records a successful verification of (id, digest, sig) under pub,
+// evicting the least recently used entry of the shard if it is full. Callers
+// must only invoke it after sig actually verified (or was produced locally).
+func (c *VerifyCache) Note(id NodeID, pub ed25519.PublicKey, d Digest, sig []byte) {
+	if c == nil || len(sig) != SignatureSize || len(pub) != ed25519.PublicKeySize {
 		return
 	}
 	k := cacheKey{id: id, d: d}
+	copy(k.pub[:], pub)
 	copy(k.sig[:], sig)
 	s := c.shard(&k)
 	s.mu.Lock()

@@ -1,6 +1,7 @@
 package crypto
 
 import (
+	"crypto/ed25519"
 	"fmt"
 	"sync"
 	"testing"
@@ -14,12 +15,13 @@ func TestVerifyCacheHitMissEvict(t *testing.T) {
 	c := NewVerifyCache(16, cc)
 
 	sig := make([]byte, SignatureSize)
+	pub := make(ed25519.PublicKey, ed25519.PublicKeySize)
 	d := Hash([]byte("msg"))
-	if c.Seen(1, d, sig) {
+	if c.Seen(1, pub, d, sig) {
 		t.Fatal("hit on empty cache")
 	}
-	c.Note(1, d, sig)
-	if !c.Seen(1, d, sig) {
+	c.Note(1, pub, d, sig)
+	if !c.Seen(1, pub, d, sig) {
 		t.Fatal("miss after Note")
 	}
 
@@ -28,17 +30,17 @@ func TestVerifyCacheHitMissEvict(t *testing.T) {
 	// never ride a cached good one).
 	forged := make([]byte, SignatureSize)
 	forged[0] = 0xff
-	if c.Seen(1, d, forged) {
+	if c.Seen(1, pub, d, forged) {
 		t.Fatal("forged signature hit the cache")
 	}
 	// Different signer, same digest and sig: also a miss.
-	if c.Seen(2, d, sig) {
+	if c.Seen(2, pub, d, sig) {
 		t.Fatal("wrong signer hit the cache")
 	}
 
 	// Overfill: per-shard LRU bound must evict, never grow unbounded.
 	for i := 0; i < 500; i++ {
-		c.Note(1, Hash([]byte(fmt.Sprintf("m%d", i))), sig)
+		c.Note(1, pub, Hash([]byte(fmt.Sprintf("m%d", i))), sig)
 	}
 	if c.Len() > 16 {
 		t.Fatalf("cache grew past capacity: %d", c.Len())
@@ -48,15 +50,15 @@ func TestVerifyCacheHitMissEvict(t *testing.T) {
 	}
 
 	// Wrong-length signatures never enter or match.
-	c.Note(1, d, sig[:10])
-	if c.Seen(1, d, sig[:10]) {
+	c.Note(1, pub, d, sig[:10])
+	if c.Seen(1, pub, d, sig[:10]) {
 		t.Fatal("short signature cached")
 	}
 
 	// Nil cache is inert.
 	var nilCache *VerifyCache
-	nilCache.Note(1, d, sig)
-	if nilCache.Seen(1, d, sig) || nilCache.Len() != 0 {
+	nilCache.Note(1, pub, d, sig)
+	if nilCache.Seen(1, pub, d, sig) || nilCache.Len() != 0 {
 		t.Fatal("nil cache not inert")
 	}
 }
@@ -65,6 +67,7 @@ func TestVerifyCacheLRUOrder(t *testing.T) {
 	// One shard's worth of traffic: craft digests landing in shard 0.
 	c := NewVerifyCache(16, nil) // 2 per shard
 	sig := make([]byte, SignatureSize)
+	pub := make(ed25519.PublicKey, ed25519.PublicKeySize)
 	shard0 := func(tag byte) Digest {
 		var d Digest
 		d[0] = 0 // shard selector byte
@@ -72,17 +75,17 @@ func TestVerifyCacheLRUOrder(t *testing.T) {
 		return d
 	}
 	a, b2, e := shard0(1), shard0(2), shard0(3)
-	c.Note(1, a, sig)
-	c.Note(1, b2, sig)
-	c.Seen(1, a, sig) // refresh a; b2 is now LRU
-	c.Note(1, e, sig) // evicts b2
-	if !c.Seen(1, a, sig) {
+	c.Note(1, pub, a, sig)
+	c.Note(1, pub, b2, sig)
+	c.Seen(1, pub, a, sig) // refresh a; b2 is now LRU
+	c.Note(1, pub, e, sig) // evicts b2
+	if !c.Seen(1, pub, a, sig) {
 		t.Fatal("refreshed entry evicted")
 	}
-	if c.Seen(1, b2, sig) {
+	if c.Seen(1, pub, b2, sig) {
 		t.Fatal("LRU entry survived eviction")
 	}
-	if !c.Seen(1, e, sig) {
+	if !c.Seen(1, pub, e, sig) {
 		t.Fatal("new entry missing")
 	}
 }
@@ -142,8 +145,55 @@ func TestSignSeedsCache(t *testing.T) {
 
 	// The original pair stays cache-free.
 	sig2 := kp.Sign([]byte("other"))
-	if cache.Seen(kp.ID, Hash([]byte("other")), sig2) {
+	if cache.Seen(kp.ID, kp.Public, Hash([]byte("other")), sig2) {
 		t.Fatal("unbound key pair seeded the cache")
+	}
+}
+
+// TestVerifyCacheKeyRotation checks that cached verifications die with the
+// key they were proved under: after Registry.Add replaces a node's public
+// key, signatures verified under the old key must not keep validating via
+// cache hits — the public key is part of the cache key, so they miss and
+// fall through to a real (failing) verify.
+func TestVerifyCacheKeyRotation(t *testing.T) {
+	old := MustGenerateKeyPair(7)
+	cc := &metrics.CryptoCounters{}
+	reg := NewRegistry(old).Accelerated(NewVerifyCache(0, cc), true, cc)
+
+	msg := []byte("signed before the key changed")
+	sig := old.Sign(msg)
+	if err := reg.Verify(old.ID, msg, sig); err != nil {
+		t.Fatalf("verify under original key: %v", err)
+	}
+	if err := reg.Verify(old.ID, msg, sig); err != nil {
+		t.Fatalf("cached verify under original key: %v", err)
+	}
+	if s := cc.Snapshot(); s.CacheHits != 1 {
+		t.Fatalf("expected 1 cache hit before rotation, got %d", s.CacheHits)
+	}
+
+	// Replace the key. The old signature is now invalid and must be
+	// re-checked for real, not served from the cache.
+	reg.Add(old.ID, MustGenerateKeyPair(7).Public)
+	before := cc.Snapshot()
+	if err := reg.Verify(old.ID, msg, sig); err == nil {
+		t.Fatal("old-key signature still accepted after key rotation")
+	}
+	after := cc.Snapshot()
+	if after.CacheHits != before.CacheHits {
+		t.Fatal("old-key signature hit the cache after key rotation")
+	}
+	if after.ScalarVerifies != before.ScalarVerifies+1 {
+		t.Fatalf("expected a real verify after rotation, got %d -> %d scalar verifies",
+			before.ScalarVerifies, after.ScalarVerifies)
+	}
+
+	// Batch path sees the rotation too: a BatchVerifier entry for the old
+	// signature must fail, not cache-hit.
+	bv := reg.NewBatchVerifier(1)
+	bv.Add(old.ID, msg, sig)
+	if failed := bv.Verify(); len(failed) != 1 {
+		t.Fatalf("batch accepted old-key signature after rotation: %v", failed)
 	}
 }
 
@@ -175,7 +225,7 @@ func TestVerifyCacheConcurrent(t *testing.T) {
 					return
 				}
 				// Unique inserts to force LRU churn alongside the hits.
-				c.Note(kp.ID, Hash([]byte(fmt.Sprintf("churn %d %d", g, i))), sigs[j])
+				c.Note(kp.ID, kp.Public, Hash([]byte(fmt.Sprintf("churn %d %d", g, i))), sigs[j])
 			}
 		}(g)
 	}

@@ -107,7 +107,7 @@ func MustGenerateKeyPair(id NodeID) *KeyPair {
 // multiplication.
 func (k *KeyPair) Sign(msg []byte) []byte {
 	sig := ed25519.Sign(k.private, msg)
-	k.cache.Note(k.ID, Hash(msg), sig)
+	k.cache.Note(k.ID, k.Public, Hash(msg), sig)
 	return sig
 }
 
@@ -175,7 +175,10 @@ func (r *Registry) snapshot() map[NodeID]ed25519.PublicKey {
 
 // Add registers a public key, e.g. a data center key learned at setup. The
 // key set is copied so concurrent Verify calls keep reading a consistent
-// snapshot without locking.
+// snapshot without locking. Replacing an existing id's key is safe with
+// respect to the verified-signature cache: entries are keyed by the public
+// key they verified under, so proofs made under the old key stop hitting the
+// moment the key changes.
 func (r *Registry) Add(id NodeID, pub ed25519.PublicKey) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -210,11 +213,13 @@ func (r *Registry) Len() int {
 	return len(r.snapshot())
 }
 
-// Verify checks that sig is a valid signature by id over msg. When the
-// registry carries a verified-signature cache, a previously verified
-// (id, msg, sig) triple returns immediately without touching the curve;
-// fresh successes are recorded for next time. Hashing msg for the cache key
-// costs ~1% of the scalar multiplication it saves on a hit.
+// Verify checks that sig is a valid signature by id over msg, using the
+// cofactored single equation (VerifySignature) — the same deterministic
+// accept set as the batch path. When the registry carries a
+// verified-signature cache, a previously verified (id, key, msg, sig) tuple
+// returns immediately without touching the curve; fresh successes are
+// recorded for next time. Hashing msg for the cache key costs ~1% of the
+// scalar multiplication it saves on a hit.
 func (r *Registry) Verify(id NodeID, msg, sig []byte) error {
 	pub, ok := r.PublicKey(id)
 	if !ok {
@@ -226,15 +231,15 @@ func (r *Registry) Verify(id NodeID, msg, sig []byte) error {
 	var d Digest
 	if r.cache != nil {
 		d = Hash(msg)
-		if r.cache.Seen(id, d, sig) {
+		if r.cache.Seen(id, pub, d, sig) {
 			return nil
 		}
 	}
 	r.cc.AddScalarVerify()
-	if !ed25519.Verify(pub, msg, sig) {
+	if !VerifySignature(pub, msg, sig) {
 		return fmt.Errorf("%w: from %v", ErrInvalidSignature, id)
 	}
-	r.cache.Note(id, d, sig)
+	r.cache.Note(id, pub, d, sig)
 	return nil
 }
 

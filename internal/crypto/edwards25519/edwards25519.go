@@ -367,6 +367,21 @@ func (v *projP1xP1) Double(p *projP2) *projP1xP1 {
 	return v
 }
 
+// MultByCofactor sets v = 8 * p, and returns v. It is the cheap way to clear
+// the curve's small-order torsion component: the result always lies in the
+// prime-order subgroup. Matches filippo.io/edwards25519's MultByCofactor.
+func (v *Point) MultByCofactor(p *Point) *Point {
+	checkInitialized(p)
+	result := projP1xP1{}
+	pp := (&projP2{}).FromP3(p)
+	result.Double(pp)
+	pp.FromP1xP1(&result)
+	result.Double(pp)
+	pp.FromP1xP1(&result)
+	result.Double(pp)
+	return v.fromP1xP1(&result)
+}
+
 // Negation.
 
 // Negate sets v = -p, and returns v.

@@ -73,9 +73,23 @@ func (p *VerifyPool) worker() {
 		case fn := <-p.tasks:
 			p.stats.Dequeued()
 			p.stats.AddOffloaded()
-			fn()
+			p.runTask(fn)
 		}
 	}
+}
+
+// runTask executes one task, containing a panic so a single bad task cannot
+// take the worker (and, since an unrecovered panic is process-fatal, the
+// whole node) down with it. Swallowed panics are counted in the pool stats;
+// RunChunks additionally captures its own spans' panics and re-raises the
+// first one on the caller, so panics from chunked work are never lost.
+func (p *VerifyPool) runTask(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.stats.AddPanic()
+		}
+	}()
+	fn()
 }
 
 // Workers reports the pool's worker count.
@@ -118,6 +132,12 @@ func (p *VerifyPool) Submit(fn func()) {
 // queue (all workers busy, queue saturated) is harmless because the caller
 // will have claimed its spans by then. No pool worker ever blocks on work
 // that is stuck behind it.
+//
+// A panicking fn cannot strand the caller: every claimed span completes its
+// bookkeeping even on panic, the remaining spans still run, and once all
+// spans have settled the first panic value is re-raised on the caller's
+// goroutine — so RunChunks panics like a plain loop over fn would, but never
+// returns (or panics out) while helpers are still touching caller state.
 func (p *VerifyPool) RunChunks(n, chunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -133,22 +153,37 @@ func (p *VerifyPool) RunChunks(n, chunk int, fn func(lo, hi int)) {
 
 	var next atomic.Int64 // next unclaimed span
 	var done atomic.Int64 // completed spans
+	var panicMu sync.Mutex
+	var panicVal any // first recovered panic, re-raised on the caller
+	var panicked bool
 	finished := make(chan struct{})
+	runSpan := func(lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if !panicked {
+					panicked, panicVal = true, r
+				}
+				panicMu.Unlock()
+			}
+			// Must run even on panic, or the caller waits forever.
+			if int(done.Add(1)) == spans {
+				close(finished)
+			}
+		}()
+		fn(lo, hi)
+	}
 	run := func() {
 		for {
 			s := int(next.Add(1)) - 1
 			if s >= spans {
 				return
 			}
-			lo := s * chunk
-			hi := lo + chunk
+			hi := s*chunk + chunk
 			if hi > n {
 				hi = n
 			}
-			fn(lo, hi)
-			if int(done.Add(1)) == spans {
-				close(finished)
-			}
+			runSpan(s*chunk, hi)
 		}
 	}
 
@@ -163,6 +198,12 @@ func (p *VerifyPool) RunChunks(n, chunk int, fn func(lo, hi int)) {
 	}
 	run()
 	<-finished
+	panicMu.Lock()
+	r, rOK := panicVal, panicked
+	panicMu.Unlock()
+	if rOK {
+		panic(r)
+	}
 }
 
 // VerifyAsync checks that sig is a valid signature by id over msg, delivering

@@ -246,3 +246,84 @@ func TestRunChunksAfterCloseRunsSynchronously(t *testing.T) {
 		t.Fatalf("nil pool covered %d items, want 32", total)
 	}
 }
+
+// TestRunChunksPanicDoesNotHang is the regression for the panic-stranding
+// bug: a chunk that panics used to kill its goroutine without ever counting
+// its span done, leaving the caller blocked on the completion channel
+// forever. Now every span completes its bookkeeping, the remaining spans
+// still run, the first panic is re-raised on the caller once all spans have
+// settled (so no helper is still touching caller state when it propagates),
+// and the pool's workers survive for subsequent work.
+func TestRunChunksPanicDoesNotHang(t *testing.T) {
+	pool := NewVerifyPool(4)
+	defer pool.Close()
+
+	result := make(chan any, 1)
+	covered := make([]atomic.Int32, 64)
+	go func() {
+		defer func() { result <- recover() }()
+		pool.RunChunks(len(covered), 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+			if lo == 20 {
+				panic("chunk exploded")
+			}
+		})
+		result <- nil
+	}()
+
+	select {
+	case r := <-result:
+		if r == nil {
+			t.Fatal("RunChunks swallowed the chunk panic")
+		}
+		if s, ok := r.(string); !ok || s != "chunk exploded" {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunChunks hung after a chunk panicked")
+	}
+	// All spans ran exactly once despite the panic — when the panic reached
+	// the caller, no helper was left mid-span.
+	for i := range covered {
+		if got := covered[i].Load(); got != 1 {
+			t.Fatalf("index %d covered %d times, want 1", i, got)
+		}
+	}
+
+	// The pool is still fully operational.
+	total := 0
+	var mu sync.Mutex
+	pool.RunChunks(32, 4, func(lo, hi int) {
+		mu.Lock()
+		total += hi - lo
+		mu.Unlock()
+	})
+	if total != 32 {
+		t.Fatalf("pool covered %d items after panic, want 32", total)
+	}
+}
+
+// TestVerifyPoolSubmitPanicContained checks that a panicking Submit task is
+// contained by the worker (counted, not fatal) and the worker keeps serving.
+func TestVerifyPoolSubmitPanicContained(t *testing.T) {
+	pool := NewVerifyPool(1)
+	defer pool.Close()
+
+	pool.Submit(func() { panic("bad verification callback") })
+	done := make(chan struct{})
+	pool.Submit(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker died after a task panic")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for pool.Stats().Panics != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("expected 1 contained panic in stats, got %d", pool.Stats().Panics)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -131,8 +131,8 @@ type CryptoCounters struct {
 	cacheEvictions atomic.Uint64
 }
 
-// AddScalarVerify records one individual ed25519.Verify execution (a
-// non-batched check, or a bisection leaf).
+// AddScalarVerify records one individual (non-batched) signature
+// verification — a single cofactored equation, or a bisection leaf.
 func (c *CryptoCounters) AddScalarVerify() {
 	if c == nil {
 		return
@@ -192,7 +192,7 @@ func (c *CryptoCounters) AddCacheEviction() {
 
 // CryptoSnapshot is a point-in-time copy of CryptoCounters.
 type CryptoSnapshot struct {
-	// ScalarVerifies counts individual ed25519.Verify executions;
+	// ScalarVerifies counts individual single-signature verifications;
 	// BatchedSigs the signatures settled through batch equations instead.
 	ScalarVerifies uint64
 	BatchedSigs    uint64
@@ -246,6 +246,7 @@ func (c *CryptoCounters) Snapshot() CryptoSnapshot {
 type PoolCounters struct {
 	offloaded atomic.Uint64
 	inline    atomic.Uint64
+	panics    atomic.Uint64
 	depth     atomic.Int64
 	peak      atomic.Int64
 	latSumNs  atomic.Int64
@@ -259,6 +260,11 @@ func (p *PoolCounters) AddOffloaded() { p.offloaded.Add(1) }
 // AddInline records one task executed on the submitter (fast path or
 // backpressure).
 func (p *PoolCounters) AddInline() { p.inline.Add(1) }
+
+// AddPanic records one task panic contained by a pool worker. Nonzero means
+// a verification callback has a bug; the pool survives, the counter makes
+// the bug visible.
+func (p *PoolCounters) AddPanic() { p.panics.Add(1) }
 
 // Enqueued records a task entering the queue, tracking the peak depth.
 func (p *PoolCounters) Enqueued() {
@@ -292,6 +298,8 @@ type PoolSnapshot struct {
 	// Offloaded and Inline count completed tasks by where they executed.
 	Offloaded uint64
 	Inline    uint64
+	// Panics counts task panics contained by pool workers.
+	Panics uint64
 	// QueueDepth is the instantaneous queue backlog; QueuePeak its maximum.
 	QueueDepth int64
 	QueuePeak  int64
@@ -306,6 +314,7 @@ func (p *PoolCounters) Snapshot() PoolSnapshot {
 	s := PoolSnapshot{
 		Offloaded:  p.offloaded.Load(),
 		Inline:     p.inline.Load(),
+		Panics:     p.panics.Load(),
 		QueueDepth: p.depth.Load(),
 		QueuePeak:  p.peak.Load(),
 		TaskCount:  p.latCount.Load(),

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench
+.PHONY: all build test check lint bench bench-guard
 
 all: build
 
@@ -10,18 +10,29 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: vet, build, race-test the consensus, crypto,
-# ordering, persistence, and transport packages, race-test WAL durability
-# and crash-restart recovery plus a chaos crash/partition smoke, fuzz the
-# WAL decoder briefly, and smoke-run the verification, batching, and
-# transport benchmarks once so a broken benchmark cannot rot unnoticed.
-check:
+# lint: vet plus gofmt drift, plus staticcheck when the host has it (the
+# container does not ship it; nothing is installed on demand).
+lint:
 	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; else \
+		echo "staticcheck not installed; skipped"; fi
+
+# check is the pre-merge gate: lint, build, race-test the consensus, crypto,
+# ordering, persistence, transport, and observability packages, race-test WAL
+# durability and crash-restart recovery plus a chaos crash/partition smoke
+# (which now also asserts the consensus event journal), fuzz the WAL decoder
+# briefly, and smoke-run the verification, batching, and transport benchmarks
+# once so a broken benchmark cannot rot unnoticed.
+check: lint
 	$(GO) build ./...
 	$(GO) test -race ./internal/pbft/... ./internal/crypto/...
 	$(GO) test -race ./internal/core ./internal/blockchain
 	$(GO) test -race ./internal/transport
 	$(GO) test -race ./internal/wal ./internal/node
+	$(GO) test -race ./internal/obsv ./internal/metrics
 	$(GO) test -race -run 'TestChaos' ./internal/testbed
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzBatchVerify -fuzztime 5s ./internal/crypto
@@ -31,3 +42,8 @@ check:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-guard runs the tracer overhead guard: ordering throughput with
+# lifecycle tracing on must stay within 5% of tracing off.
+bench-guard:
+	ZUGCHAIN_BENCH_GUARD=1 $(GO) test -run TestTracerOverheadGuard -v .

@@ -25,7 +25,9 @@ import (
 	"zugchain/internal/crypto"
 	"zugchain/internal/export"
 	"zugchain/internal/keyring"
+	"zugchain/internal/metrics"
 	"zugchain/internal/netsim"
+	"zugchain/internal/obsv"
 	"zugchain/internal/transport"
 )
 
@@ -47,6 +49,8 @@ func run() error {
 		deleteAcks   = flag.Int("delete-acks", 3, "replica acks required per export round")
 		sendQueue    = flag.Int("send-queue", transport.DefaultSendQueue, "per-replica outbound queue capacity (oldest dropped when full)")
 		flushEvery   = flag.Duration("flush-interval", 0, "linger before flushing partial outbound write batches (0 = flush when idle)")
+		metricsAddr  = flag.String("metrics-addr", "", "observability HTTP address (/metrics /statusz /debug/pprof; empty = off)")
+		statsEvery   = flag.Duration("stats", 0, "stats print interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -63,6 +67,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Count the export path's checkpoint/block verifications like a node
+	// counts its own: the accelerated view shares the key set but owns its
+	// counters.
+	cc := &metrics.CryptoCounters{}
+	reg = reg.Accelerated(nil, false, cc)
 	replicaAddrs, err := cli.ParsePeers(*replicasFlag)
 	if err != nil {
 		return err
@@ -88,6 +97,30 @@ func run() error {
 		ID:       dcID,
 		Replicas: kr.ReplicaIDs(),
 	}, kp, reg, archive, tr)
+
+	// The data center has no consensus pipeline, so its observer runs
+	// without the lifecycle tracer: archive gauges, net, crypto, and
+	// group-commit counters are the interesting families here.
+	obs := obsv.NewObserver(obsv.Options{DisableTrace: true})
+	obsv.RegisterNet(obs.Registry, tcp.NetCounters())
+	obsv.RegisterCrypto(obs.Registry, cc)
+	obsv.RegisterGroupCommit(obs.Registry, archive.GroupCommits())
+	obs.Registry.Register("chain", func() []obsv.Metric {
+		return []obsv.Metric{
+			{Name: "zugchain_chain_height", Help: "Archive head index", Kind: obsv.KindGauge, Value: float64(archive.HeadIndex())},
+			{Name: "zugchain_chain_base", Help: "Oldest retained archive block", Kind: obsv.KindGauge, Value: float64(archive.Base())},
+		}
+	})
+	if *metricsAddr != "" {
+		msrv, err := obsv.Serve(*metricsAddr, obs)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		log.Printf("observability on http://%s", msrv.Addr())
+	}
+	reporter := obsv.NewReporter(*statsEvery, func() string { return obsv.Summary(obs) }, nil)
+	defer reporter.Stop()
 
 	log.Printf("data center %v exporting every %v, archive at %s (height %d)",
 		dcID, *interval, *archiveDir, archive.HeadIndex())

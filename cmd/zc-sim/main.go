@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"zugchain/internal/blockchain"
@@ -24,6 +25,7 @@ import (
 	"zugchain/internal/export"
 	"zugchain/internal/mvb"
 	"zugchain/internal/node"
+	"zugchain/internal/obsv"
 	"zugchain/internal/signal"
 	"zugchain/internal/transport"
 )
@@ -58,6 +60,10 @@ func run() error {
 		restartAfter = flag.Duration("restart-after", 20*time.Second, "when to restart it from its data dir (0 = never)")
 		verifyCache  = flag.Int("verify-cache", 0, "verified-signature cache entries (0 = default 4096, negative = off)")
 		batchVerify  = flag.Bool("batch-verify", true, "verify batched proposals' record signatures in one multi-scalar pass")
+		statsEvery   = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
+		metricsAddr  = flag.String("metrics-addr", "", "observability HTTP address serving replica 0 (empty = off)")
+		traceSlow    = flag.Duration("trace-slow", 0, "log records whose ingest-to-execute latency meets this threshold (0 = off)")
+		traceRing    = flag.Int("trace-ring", 0, "completed lifecycle traces retained for /tracez (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -94,9 +100,16 @@ func run() error {
 	}
 	chaosNet := *netDrop > 0 || *netDelay > 0 || *netDup > 0
 
+	var nodeMu sync.Mutex // guards nodes against the reporter goroutine
 	nodes := make([]*node.Node, len(ids))
 	busCancels := make([]context.CancelFunc, len(ids))
 	incarnation := make([]int64, len(ids))
+	var msrv *obsv.Server
+	defer func() {
+		if msrv != nil {
+			_ = msrv.Close()
+		}
+	}()
 	startNode := func(i int) error {
 		id := ids[i]
 		var dir string
@@ -118,6 +131,8 @@ func run() error {
 
 			VerifyCacheSize:    *verifyCache,
 			DisableBatchVerify: !*batchVerify,
+			TraceSlow:          *traceSlow,
+			TraceRing:          *traceRing,
 		}, kps[id], reg, tr, clock.Real{})
 		if err != nil {
 			return err
@@ -134,8 +149,23 @@ func run() error {
 		busCtx, busCancel := context.WithCancel(ctx)
 		n.Start()
 		n.RunBus(busCtx, reader)
+		nodeMu.Lock()
 		nodes[i] = n
 		busCancels[i] = busCancel
+		nodeMu.Unlock()
+		if i == 0 && *metricsAddr != "" {
+			// The HTTP endpoint serves replica 0's observer; a restart
+			// creates a fresh node (and observer), so rebind to it.
+			if msrv != nil {
+				_ = msrv.Close()
+			}
+			srv, err := obsv.Serve(*metricsAddr, n.Obs())
+			if err != nil {
+				return err
+			}
+			msrv = srv
+			log.Printf("observability on http://%s (replica 0)", srv.Addr())
+		}
 		return nil
 	}
 	for i := range ids {
@@ -170,8 +200,20 @@ func run() error {
 	log.Printf("running %d replicas, bus cycle %v, drop %.0f%%, bit flips %.1f%%",
 		len(nodes), *busCycle, *busDrop*100, *busFlip*100)
 
-	statTicker := time.NewTicker(5 * time.Second)
-	defer statTicker.Stop()
+	// The shared reporter replaces the hand-rolled 5s ticker: one formatter
+	// over replica 0's registered families (chain, latency, net, crypto,
+	// WAL), 0 = off preserved.
+	reporter := obsv.NewReporter(*statsEvery, func() string {
+		nodeMu.Lock()
+		n := nodes[0]
+		nodeMu.Unlock()
+		if n == nil {
+			return ""
+		}
+		return obsv.Summary(n.Obs())
+	}, nil)
+	defer reporter.Stop()
+
 	var exportCh <-chan time.Time
 	if dc != nil {
 		exportTicker := time.NewTicker(*exportEach)
@@ -199,28 +241,23 @@ func run() error {
 			i := *killNode
 			log.Printf("replica %d: crashing", i)
 			busCancels[i]()
-			nodes[i].Stop()
+			nodeMu.Lock()
+			n := nodes[i]
 			nodes[i] = nil
+			nodeMu.Unlock()
+			n.Stop()
 		case <-restartCh:
 			i := *killNode
-			if nodes[i] != nil {
+			nodeMu.Lock()
+			running := nodes[i] != nil
+			nodeMu.Unlock()
+			if running {
 				continue
 			}
 			log.Printf("replica %d: restarting", i)
 			if err := startNode(i); err != nil {
 				return fmt.Errorf("restart replica %d: %w", i, err)
 			}
-		case <-statTicker.C:
-			n := nodes[0]
-			if n == nil {
-				continue
-			}
-			lat := n.Layer().Latency().Stats()
-			log.Printf("height=%d base=%d ordered=%d dup-filtered=%d lat(med)=%v",
-				n.Store().HeadIndex(), n.Store().Base(),
-				n.Layer().Counters().Snapshot().Requests,
-				totalDuplicates(nodes),
-				lat.Median.Round(time.Microsecond))
 		case <-exportCh:
 			go runExport(ctx, dc)
 		}
@@ -246,16 +283,6 @@ func runExport(ctx context.Context, dc *export.DataCenter) {
 	log.Printf("exported %d blocks through %d; replicas pruned", res.NewBlocks, res.BlockIndex)
 }
 
-func totalDuplicates(nodes []*node.Node) uint64 {
-	var total uint64
-	for _, n := range nodes {
-		if n != nil {
-			total += n.Layer().Counters().Snapshot().Duplicates
-		}
-	}
-	return total
-}
-
 func printSummary(nodes []*node.Node, dc *export.DataCenter) {
 	fmt.Println("\n=== summary ===")
 	for i, n := range nodes {
@@ -271,6 +298,19 @@ func printSummary(nodes []*node.Node, dc *export.DataCenter) {
 		fmt.Printf("replica %d: height=%d base=%d ordered=%d %s\n",
 			i, store.HeadIndex(), store.Base(),
 			n.Layer().Counters().Snapshot().Requests, status)
+	}
+	for i, n := range nodes {
+		if n == nil {
+			continue
+		}
+		events := n.Obs().Journal.Events()
+		if len(events) == 0 {
+			continue
+		}
+		fmt.Printf("replica %d consensus events (%d):\n", i, len(events))
+		for _, e := range events {
+			fmt.Printf("  %s\n", e)
+		}
 	}
 	if dc != nil {
 		status := "archive OK"

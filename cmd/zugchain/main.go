@@ -33,6 +33,7 @@ import (
 	"zugchain/internal/keyring"
 	"zugchain/internal/mvb"
 	"zugchain/internal/node"
+	"zugchain/internal/obsv"
 	"zugchain/internal/signal"
 	"zugchain/internal/transport"
 )
@@ -66,6 +67,9 @@ func run() error {
 		flushEvery  = flag.Duration("flush-interval", 0, "linger before flushing partial outbound write batches (0 = flush when idle)")
 		verifyCache = flag.Int("verify-cache", 0, "verified-signature cache entries (0 = default 4096, negative = off)")
 		batchVerify = flag.Bool("batch-verify", true, "verify batched proposals' record signatures in one multi-scalar pass")
+		metricsAddr = flag.String("metrics-addr", "", "observability HTTP address (/metrics /statusz /tracez /eventz /debug/pprof; empty = off)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log records whose ingest-to-execute latency meets this threshold (0 = off)")
+		traceRing   = flag.Int("trace-ring", 0, "completed lifecycle traces retained for /tracez (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -108,6 +112,8 @@ func run() error {
 
 		VerifyCacheSize:    *verifyCache,
 		DisableBatchVerify: !*batchVerify,
+		TraceSlow:          *traceSlow,
+		TraceRing:          *traceRing,
 	}, kp, reg, tr, clock.Real{})
 	if err != nil {
 		return err
@@ -131,6 +137,15 @@ func run() error {
 	n.Start()
 	defer n.Stop()
 
+	if *metricsAddr != "" {
+		msrv, err := obsv.Serve(*metricsAddr, n.Obs())
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		log.Printf("observability on http://%s (/metrics /statusz /tracez /eventz /debug/pprof)", msrv.Addr())
+	}
+
 	// Deterministic simulated bus: same seed => same signal stream on all
 	// replicas.
 	genCfg := signal.DefaultGeneratorConfig()
@@ -151,33 +166,20 @@ func run() error {
 	log.Printf("replica %v listening on %s, %d peers, bus cycle %v",
 		id, tr.Addr(), len(peers), *busCycle)
 
+	// The shared reporter replaces this command's hand-rolled ticker: one
+	// formatter over the registered metric families (0 = off preserved).
+	reporter := obsv.NewReporter(*statsEvery, func() string { return obsv.Summary(n.Obs()) }, nil)
+	defer reporter.Stop()
+
 	sigCh := make(chan os.Signal, 1)
 	ossignal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	var ticker *time.Ticker
-	var tickCh <-chan time.Time
-	if *statsEvery > 0 {
-		ticker = time.NewTicker(*statsEvery)
-		defer ticker.Stop()
-		tickCh = ticker.C
-	}
-	for {
-		select {
-		case <-sigCh:
-			log.Printf("shutting down")
-			return nil
-		case <-tickCh:
-			store := n.Store()
-			lat := n.Layer().Latency().Stats()
-			ns := tr.NetCounters().Snapshot()
-			cs := n.CryptoStats()
-			log.Printf("chain height=%d base=%d ordered=%d open=%d lat(med)=%v "+
-				"net(queued=%d dropped=%d coalesce=%.1f redials=%d) "+
-				"crypto(batched=%d mean=%.1f scalar=%d cache-hit=%.0f%% evict=%d)",
-				store.HeadIndex(), store.Base(),
-				n.Layer().Counters().Snapshot().Requests,
-				n.Layer().OpenRequests(), lat.Median,
-				ns.QueueDepth, ns.Drops+ns.WriteErrors, ns.CoalesceMean, ns.Redials,
-				cs.BatchedSigs, cs.MeanBatch, cs.ScalarVerifies, cs.HitRate*100, cs.CacheEvictions)
+	<-sigCh
+	log.Printf("shutting down")
+	if events := n.Obs().Journal.Events(); len(events) > 0 {
+		log.Printf("consensus event journal (%d events):", len(events))
+		for _, e := range events {
+			log.Printf("  %s", e)
 		}
 	}
+	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"zugchain/internal/clock"
 	"zugchain/internal/crypto"
 	"zugchain/internal/metrics"
+	"zugchain/internal/obsv"
 	"zugchain/internal/pbft"
 	"zugchain/internal/transport"
 	"zugchain/internal/wire"
@@ -86,6 +87,10 @@ type Config struct {
 	// open batch waiting for companions before a flush is forced. Only
 	// meaningful with MaxBatch > 1. Defaults to 2ms.
 	MaxBatchDelay time.Duration
+	// Tracer, when non-nil, stamps per-record lifecycle phases (ingest,
+	// batch, decide) for the observability layer. All stamps are O(1)
+	// ring/atomic operations; nil disables tracing with zero overhead.
+	Tracer *obsv.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -170,6 +175,7 @@ type Layer struct {
 	counters *metrics.Counters
 	latency  *metrics.Latency
 	batches  *metrics.BatchCounters
+	tracer   *obsv.Tracer                // nil = lifecycle tracing off
 	received map[crypto.Digest]time.Time // for latency measurement
 }
 
@@ -192,6 +198,7 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, bft BFT, tr trans
 		counters: &metrics.Counters{},
 		latency:  &metrics.Latency{},
 		batches:  &metrics.BatchCounters{},
+		tracer:   cfg.Tracer,
 		received: make(map[crypto.Digest]time.Time),
 	}
 	tr.SetHandler(l.onTransport)
@@ -310,6 +317,7 @@ func (l *Layer) OnBusRecord(src int, payload []byte) {
 	}
 	l.open[digest] = st
 	l.received[digest] = l.clk.Now()
+	l.tracer.BeginRecord(digest)
 
 	if l.isPrimaryLocked() {
 		l.proposeLocked(st, l.cfg.ID) // ln. 8–9
@@ -381,6 +389,7 @@ func (l *Layer) decideOneLocked(seq uint64, req pbft.Request) {
 	l.decided.add(digest, seq)
 	l.counters.AddRequest()
 	l.rec.Log(seq, req.Origin, req.Payload, req.Sig)
+	l.tracer.FinishRecord(digest, seq)
 }
 
 // OnNewPrimary is the NEWPRIMARY up-call after a view change. Algorithm 1
@@ -503,6 +512,7 @@ func (l *Layer) admitPeerRequest(req pbft.Request) {
 	l.open[digest] = st
 	l.perNode[req.Origin]++
 	l.received[digest] = l.clk.Now()
+	l.tracer.BeginRecord(digest)
 
 	if l.isPrimaryLocked() {
 		l.proposeLocked(st, req.Origin) // ln. 28–29: keep broadcaster's id
@@ -532,6 +542,9 @@ func (l *Layer) proposeLocked(st *reqState, origin crypto.NodeID) {
 		pbft.SignRequest(&st.req, l.kp)
 		st.origin = l.cfg.ID
 		l.counters.AddSignature()
+	}
+	if l.tracer != nil { // guard: PayloadDigest hashes when not cached
+		l.tracer.StampRecord(st.req.PayloadDigest(), obsv.PhaseBatch)
 	}
 	_ = origin // the id travels inside the signed request
 	if l.cfg.MaxBatch > 1 {

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyCapRetention: past the cap, Latency becomes a ring over the
+// newest samples — exact percentiles for short runs, bounded memory forever.
+func TestLatencyCapRetention(t *testing.T) {
+	var l Latency
+	l.SetCap(8)
+	for i := 1; i <= 20; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Count(); got != 8 {
+		t.Fatalf("retained = %d, want cap 8", got)
+	}
+	if got := l.Total(); got != 20 {
+		t.Fatalf("total = %d, want 20", got)
+	}
+	if got := l.Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	// The window is the newest 8 samples, in arrival order.
+	got := l.Samples()
+	for i, d := range got {
+		if want := time.Duration(13+i) * time.Millisecond; d != want {
+			t.Fatalf("samples[%d] = %v, want %v", i, d, want)
+		}
+	}
+	// Stats are exact over the retained window: 13..20ms.
+	s := l.Stats()
+	if s.Count != 8 || s.Max != 20*time.Millisecond || s.Median != 17*time.Millisecond {
+		t.Fatalf("stats over window = %+v", s)
+	}
+}
+
+func TestLatencyDefaultCap(t *testing.T) {
+	var l Latency
+	for i := 0; i < DefaultLatencyCap+10; i++ {
+		l.Record(time.Millisecond)
+	}
+	if got := l.Count(); got != DefaultLatencyCap {
+		t.Fatalf("retained = %d, want DefaultLatencyCap %d", got, DefaultLatencyCap)
+	}
+	if got := l.Dropped(); got != 10 {
+		t.Fatalf("dropped = %d, want 10", got)
+	}
+}
+
+func TestLatencyBelowCapExact(t *testing.T) {
+	var l Latency
+	l.SetCap(100)
+	for i := 1; i <= 50; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 50 || l.Dropped() != 0 {
+		t.Fatalf("count=%d dropped=%d, want 50/0", l.Count(), l.Dropped())
+	}
+	ts := l.TimedSamples()
+	if len(ts) != 50 || ts[0].D != time.Millisecond || ts[49].D != 50*time.Millisecond {
+		t.Fatalf("timed samples window wrong: len=%d first=%v last=%v", len(ts), ts[0].D, ts[49].D)
+	}
+}
+
+func TestLatencyResetClearsRing(t *testing.T) {
+	var l Latency
+	l.SetCap(4)
+	for i := 0; i < 10; i++ {
+		l.Record(time.Millisecond)
+	}
+	l.Reset()
+	if l.Count() != 0 || l.Total() != 0 || l.Dropped() != 0 {
+		t.Fatalf("after reset: count=%d total=%d dropped=%d", l.Count(), l.Total(), l.Dropped())
+	}
+	l.Record(2 * time.Millisecond)
+	if s := l.Stats(); s.Count != 1 || s.Max != 2*time.Millisecond {
+		t.Fatalf("stats after reset+record = %+v", s)
+	}
+}

@@ -618,21 +618,58 @@ func (w *WALCounters) Snapshot() WALSnapshot {
 	return s
 }
 
-// Latency accumulates duration samples and reports distribution statistics.
-// It is safe for concurrent use.
+// DefaultLatencyCap bounds how many samples a Latency retains. It is sized
+// well above any experiment run reproducing the paper's figures (a few
+// thousand records), so those keep exact percentiles, while a long-running
+// daemon's memory stays fixed: once the cap is reached the ring overwrites
+// the oldest samples and statistics describe the most recent window.
+const DefaultLatencyCap = 1 << 16
+
+// Latency accumulates duration samples in a bounded ring and reports
+// distribution statistics over the retained window. It is safe for
+// concurrent use; the zero value is ready to use with DefaultLatencyCap.
 type Latency struct {
 	mu      sync.Mutex
-	samples []time.Duration
-	at      []time.Time
+	cap     int // 0 = DefaultLatencyCap
+	samples []TimedSample
+	next    int  // overwrite position once full
+	wrapped bool // the ring has overwritten at least one sample
+	total   uint64
+}
+
+// SetCap bounds the retained samples (before the cap is reached). Values
+// <= 0 select DefaultLatencyCap. Calling it after samples were dropped to
+// a smaller previous cap does not recover them.
+func (l *Latency) SetCap(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 {
+		n = DefaultLatencyCap
+	}
+	l.cap = n
+}
+
+func (l *Latency) capLocked() int {
+	if l.cap <= 0 {
+		return DefaultLatencyCap
+	}
+	return l.cap
 }
 
 // Record adds one sample, stamping it with the wall-clock arrival time so
 // time series (the view-change latency timeline of Fig 8) can be rebuilt.
+// Past the cap, the oldest sample is overwritten.
 func (l *Latency) Record(d time.Duration) {
 	now := time.Now()
 	l.mu.Lock()
-	l.samples = append(l.samples, d)
-	l.at = append(l.at, now)
+	l.total++
+	if max := l.capLocked(); len(l.samples) >= max {
+		l.samples[l.next] = TimedSample{At: now, D: d}
+		l.next = (l.next + 1) % max
+		l.wrapped = true
+	} else {
+		l.samples = append(l.samples, TimedSample{At: now, D: d})
+	}
 	l.mu.Unlock()
 }
 
@@ -642,23 +679,41 @@ type TimedSample struct {
 	D  time.Duration
 }
 
-// TimedSamples returns all samples with their arrival timestamps in
-// arrival order.
+// TimedSamples returns the retained samples with their arrival timestamps
+// in arrival order (the full history until the cap is reached, the most
+// recent window after).
 func (l *Latency) TimedSamples() []TimedSample {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]TimedSample, len(l.samples))
-	for i := range l.samples {
-		out[i] = TimedSample{At: l.at[i], D: l.samples[i]}
+	out := make([]TimedSample, 0, len(l.samples))
+	if l.wrapped {
+		out = append(out, l.samples[l.next:]...)
+		out = append(out, l.samples[:l.next]...)
+		return out
 	}
-	return out
+	return append(out, l.samples...)
 }
 
-// Count reports the number of recorded samples.
+// Count reports the number of retained samples.
 func (l *Latency) Count() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.samples)
+}
+
+// Total reports the number of samples ever recorded, including any the
+// ring has overwritten.
+func (l *Latency) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped reports how many samples the ring has overwritten.
+func (l *Latency) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total - uint64(len(l.samples))
 }
 
 // LatencyStats summarizes a latency distribution.
@@ -670,11 +725,14 @@ type LatencyStats struct {
 	Max    time.Duration
 }
 
-// Stats computes distribution statistics over all recorded samples.
+// Stats computes distribution statistics over the retained samples (exact
+// until the ring cap is reached, the most recent window after).
 func (l *Latency) Stats() LatencyStats {
 	l.mu.Lock()
 	samples := make([]time.Duration, len(l.samples))
-	copy(samples, l.samples)
+	for i := range l.samples {
+		samples[i] = l.samples[i].D
+	}
 	l.mu.Unlock()
 
 	if len(samples) == 0 {
@@ -695,21 +753,24 @@ func (l *Latency) Stats() LatencyStats {
 	}
 }
 
-// Samples returns a copy of all recorded samples in arrival order, used for
+// Samples returns a copy of the retained samples in arrival order, used for
 // the view-change latency timeline (Fig 8).
 func (l *Latency) Samples() []time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]time.Duration, len(l.samples))
-	copy(out, l.samples)
+	timed := l.TimedSamples()
+	out := make([]time.Duration, len(timed))
+	for i := range timed {
+		out[i] = timed[i].D
+	}
 	return out
 }
 
-// Reset discards all samples.
+// Reset discards all samples (retained and counted).
 func (l *Latency) Reset() {
 	l.mu.Lock()
 	l.samples = l.samples[:0]
-	l.at = l.at[:0]
+	l.next = 0
+	l.wrapped = false
+	l.total = 0
 	l.mu.Unlock()
 }
 

@@ -21,6 +21,7 @@ import (
 	"zugchain/internal/export"
 	"zugchain/internal/metrics"
 	"zugchain/internal/mvb"
+	"zugchain/internal/obsv"
 	"zugchain/internal/pbft"
 	"zugchain/internal/signal"
 	"zugchain/internal/transport"
@@ -91,6 +92,15 @@ type Config struct {
 	// verification of batched proposals' inner signatures, falling back to
 	// sequential scalar verifies (for debugging and A/B measurement).
 	DisableBatchVerify bool
+	// TraceRing is the number of completed record lifecycle traces retained
+	// for /tracez (0 selects obsv.DefaultTraceRing).
+	TraceRing int
+	// TraceSlow, when positive, marks and logs records whose
+	// ingest-to-execute latency meets the threshold.
+	TraceSlow time.Duration
+	// DisableTrace turns per-record lifecycle tracing off entirely (for
+	// overhead A/B measurement; metrics and the event journal stay on).
+	DisableTrace bool
 }
 
 // walDir returns the effective WAL directory, empty when disabled.
@@ -147,6 +157,7 @@ type Node struct {
 	store  *blockchain.Store
 	srv    *export.Server
 	wlog   *wal.Log
+	obs    *obsv.Observer
 
 	recovery RecoveryInfo
 
@@ -200,6 +211,11 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 		store:   store,
 		filters: make(map[int]*signal.Filter),
 		quit:    make(chan struct{}),
+		obs: obsv.NewObserver(obsv.Options{
+			TraceRing:    cfg.TraceRing,
+			TraceSlow:    cfg.TraceSlow,
+			DisableTrace: cfg.DisableTrace,
+		}),
 	}
 	n.recovery.StoreReport = store.Recovery()
 	n.builder = blockchain.NewBuilder(store.Head(), 1<<30 /* seal at checkpoints, not by count */)
@@ -241,6 +257,8 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 	runnerCfg := pbft.RunnerConfig{
 		BaseViewTimeout: cfg.ViewTimeout,
 		VerifyPool:      n.pool,
+		Tracer:          n.obs.Tracer,
+		Journal:         n.obs.Journal,
 	}
 	if n.wlog != nil {
 		runnerCfg.Persister = walPersister{n.wlog}
@@ -256,6 +274,7 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 		VerifyPool:       n.pool,
 		MaxBatch:         cfg.MaxBatch,
 		MaxBatchDelay:    cfg.MaxBatchDelay,
+		Tracer:           n.obs.Tracer,
 	}, kp, reg, n.runner, coreChan, clk, (*chainRecorder)(n))
 
 	if len(windowEntries) > 0 {
@@ -270,6 +289,30 @@ func New(cfg Config, kp *crypto.KeyPair, reg *crypto.Registry, tr transport.Tran
 		DataCenters:        cfg.DataCenters,
 	}, kp, reg, store, exportChan)
 	n.srv.SetStateReplyHandler(n.onStateReply)
+
+	// Every counter family the node owns self-registers into the observer's
+	// registry: one /metrics scrape sees the whole pipeline.
+	r := n.obs.Registry
+	obsv.RegisterCore(r, n.layer.Counters())
+	obsv.RegisterBatch(r, n.layer.Batches())
+	obsv.RegisterPool(r, n.pool.Stats)
+	obsv.RegisterCrypto(r, cc)
+	if n.wlog != nil {
+		obsv.RegisterWAL(r, n.wlog.Counters())
+	}
+	obsv.RegisterGroupCommit(r, store.GroupCommits())
+	if ns, ok := tr.(transport.NetStats); ok {
+		if nc := ns.NetCounters(); nc != nil {
+			obsv.RegisterNet(r, nc)
+		}
+	}
+	r.Register("chain", func() []obsv.Metric {
+		return []obsv.Metric{
+			{Name: "zugchain_chain_height", Help: "Blockchain head index", Kind: obsv.KindGauge, Value: float64(n.store.HeadIndex())},
+			{Name: "zugchain_chain_base", Help: "Oldest retained full block", Kind: obsv.KindGauge, Value: float64(n.store.Base())},
+			{Name: "zugchain_chain_open", Help: "Open requests in the queue R", Kind: obsv.KindGauge, Value: float64(n.layer.OpenRequests())},
+		}
+	})
 
 	return n, nil
 }
@@ -321,6 +364,11 @@ func (n *Node) CryptoStats() metrics.CryptoSnapshot { return n.cc.Snapshot() }
 
 // ExportServer exposes the export server.
 func (n *Node) ExportServer() *export.Server { return n.srv }
+
+// Obs exposes the node's observability state: the metrics registry every
+// counter family registered into, the record lifecycle tracer (nil when
+// disabled), and the consensus event journal. Serve it with obsv.Serve.
+func (n *Node) Obs() *obsv.Observer { return n.obs }
 
 // HandleFrame processes one bus frame through the verified parse/filter
 // pipeline and submits the surviving signals as one consolidated request.
@@ -468,7 +516,11 @@ func (a *pbftApp) CheckpointDigest(seq uint64) crypto.Digest {
 	}
 	block := n.builder.SealCheckpoint(seq)
 	n.mu.Unlock()
-	if err := n.store.Append(block); err != nil {
+	if err := n.store.Append(block); err == nil {
+		// The block is durable: stamp fsync on every completed trace at or
+		// below this checkpoint's sequence.
+		n.obs.Tracer.Fsync(seq)
+	} else {
 		// Appending a locally built block to the local head can only
 		// fail after state corruption; the checkpoint exchange will
 		// detect the divergence (StateTransferNeeded follows). Per-replica
@@ -507,7 +559,12 @@ func (a *pbftApp) NewPrimary(view uint64, primary crypto.NodeID) {
 // one frame were lost.
 func (a *pbftApp) StateTransferNeeded(seq uint64, digest crypto.Digest) {
 	n := (*Node)(a)
-	n.ensureStateFetch(n.targetBlockIndex(seq))
+	target := n.targetBlockIndex(seq)
+	n.obs.Journal.Record(obsv.Event{
+		Kind: obsv.EventStateTransferNeeded, Seq: seq, Node: n.cfg.ID,
+		Detail: fmt.Sprintf("target-block=%d head=%d", target, n.store.HeadIndex()),
+	})
+	n.ensureStateFetch(target)
 	_ = digest // the installed blocks are verified by hash linkage
 }
 
@@ -533,6 +590,10 @@ func (n *Node) onStateReply(reply *export.StateReply) {
 	if err := n.store.AppendBatch(run); err != nil {
 		return
 	}
+	n.obs.Journal.Record(obsv.Event{
+		Kind: obsv.EventStateTransfer, Seq: run[len(run)-1].Header.LastSeq, Node: n.cfg.ID,
+		Detail: fmt.Sprintf("installed-blocks=%d head=%d", len(run), n.store.HeadIndex()),
+	})
 
 	// The transfer runs while consensus keeps deciding: slots beyond the
 	// transferred range may already sit in the builder and must survive the

@@ -1,11 +1,13 @@
 package node
 
 import (
+	"fmt"
 	"sort"
 
 	"zugchain/internal/blockchain"
 	"zugchain/internal/core"
 	"zugchain/internal/crypto"
+	"zugchain/internal/obsv"
 	"zugchain/internal/pbft"
 	"zugchain/internal/wal"
 )
@@ -88,8 +90,10 @@ func (n *Node) restoreFromWAL(engine *pbft.Engine, recs []wal.Record) []core.Win
 	if head != nil {
 		headIdx, headLastSeq = head.Header.Index, head.Header.LastSeq
 	}
-	if len(recs) == 0 && head == nil {
-		return nil // fresh start: nothing durable anywhere
+	if len(recs) == 0 && headIdx == 0 {
+		// Fresh start: nothing durable anywhere (the store always holds
+		// genesis, so an empty chain is headIdx == 0, not head == nil).
+		return nil
 	}
 
 	quorum := 2*((len(n.cfg.Replicas)-1)/3) + 1
@@ -153,6 +157,11 @@ func (n *Node) restoreFromWAL(engine *pbft.Engine, recs []wal.Record) []core.Win
 	if st.Stable.Seq > headLastSeq {
 		n.recovery.PendingTransfer = n.targetBlockIndex(st.Stable.Seq)
 	}
+	n.obs.Journal.Record(obsv.Event{
+		Kind: obsv.EventRecovery, View: st.View, Seq: st.Executed, Node: n.cfg.ID,
+		Detail: fmt.Sprintf("wal-records=%d head=%d pending-transfer=%d",
+			len(recs), headIdx, n.recovery.PendingTransfer),
+	})
 
 	// The WAL snapshot carries window entries at or below the last stable
 	// checkpoint; entries decided after it are re-derived from the chain
@@ -237,7 +246,12 @@ func (n *Node) rotateWAL(proof pbft.CheckpointProof) {
 	for _, e := range n.layer.WindowSnapshot(proof.Seq) {
 		snapshot = append(snapshot, wal.Record{Kind: wal.KindDedup, Seq: e.Seq, Digest: e.Digest})
 	}
-	_ = n.wlog.Rotate(snapshot)
+	if err := n.wlog.Rotate(snapshot); err == nil {
+		n.obs.Journal.Record(obsv.Event{
+			Kind: obsv.EventWALRotation, View: view, Seq: proof.Seq, Node: n.cfg.ID,
+			Detail: fmt.Sprintf("snapshot-records=%d", len(snapshot)),
+		})
+	}
 }
 
 // targetBlockIndex maps a PBFT sequence number to the block index whose

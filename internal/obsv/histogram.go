@@ -1,0 +1,179 @@
+package obsv
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing scheme: log-linear (HDR-style). Values are nanosecond
+// durations. Each power-of-two octave is split into histSub equal-width
+// sub-buckets, so the relative width of any bucket — and therefore the worst
+// case error of a quantile read against the exact distribution — is bounded
+// by 1/histSub = 12.5%. Index arithmetic is two shifts and a mask; no
+// floating point, no math.Log on the hot path.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // sub-buckets per octave
+
+	// histBuckets covers every non-negative int64 nanosecond value:
+	// the largest index is reached at v = 2^62..2^63-1 (octave 62).
+	histBuckets = (63-histSubBits+1)*histSub + histSub
+
+	// histStripes spreads concurrent writers over independent counter
+	// arrays (each cache-line padded) so a flood of Observe calls from
+	// many cores does not serialize on one set of cache lines.
+	histStripes = 4
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v) // linear region: singleton buckets
+	}
+	octave := uint(bits.Len64(v) - 1)
+	return int((octave-histSubBits+1)*histSub + uint((v>>(octave-histSubBits))&(histSub-1)))
+}
+
+// bucketUpper returns the inclusive upper bound of bucket idx in nanoseconds.
+func bucketUpper(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	block := uint(idx >> histSubBits)
+	m := uint64(idx & (histSub - 1))
+	shift := block - 1
+	return ((histSub + m + 1) << shift) - 1
+}
+
+// histStripe is one writer lane. The padding keeps stripes on separate cache
+// lines so writers in different lanes never false-share.
+type histStripe struct {
+	_       [8]uint64
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Int64
+	_pad    [8]uint64
+}
+
+// Histogram is a bounded, striped, log-bucketed latency histogram. Observe
+// is wait-free (a handful of atomic adds); memory is fixed at construction
+// regardless of how many samples are recorded — the property that lets it
+// replace sample-hoarding on paths that run for days. The zero value is
+// ready to use.
+type Histogram struct {
+	stripes [histStripes]histStripe
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration sample. Negative durations clamp to zero.
+// Nil-safe: a nil receiver records nothing.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	// Stripe selection: a multiplicative hash of the value spreads
+	// concurrent writers with differing samples across lanes without any
+	// shared state of its own. Identical values landing on one lane is
+	// acceptable — atomic adds to the same bucket stay correct.
+	s := &h.stripes[(v*0x9E3779B97F4A7C15)>>62&(histStripes-1)]
+	s.buckets[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	s.sumNs.Add(v)
+	nv := int64(v)
+	for {
+		cur := s.maxNs.Load()
+		if nv <= cur || s.maxNs.CompareAndSwap(cur, nv) {
+			return
+		}
+	}
+}
+
+// HistBucket is one non-empty bucket of a snapshot: Count samples at or
+// below Upper (and above the previous bucket's Upper).
+type HistBucket struct {
+	Upper time.Duration
+	Count uint64
+}
+
+// HistSnapshot is a point-in-time merge of all stripes.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+	Buckets []HistBucket // non-empty buckets in ascending Upper order
+}
+
+// Snapshot merges the stripes into one distribution. A nil receiver yields
+// the zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var merged [histBuckets]uint64
+	var s HistSnapshot
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		s.Count += st.count.Load()
+		s.Sum += time.Duration(st.sumNs.Load())
+		if m := time.Duration(st.maxNs.Load()); m > s.Max {
+			s.Max = m
+		}
+		for b := range st.buckets {
+			if c := st.buckets[b].Load(); c > 0 {
+				merged[b] += c
+			}
+		}
+	}
+	for b, c := range merged {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Upper: time.Duration(bucketUpper(b)), Count: c})
+		}
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the recorded samples.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) as the upper bound of the
+// bucket holding that rank — an overestimate by at most one bucket width
+// (12.5% relative). Out-of-range q clamps.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum > rank {
+			if b.Upper > s.Max {
+				return s.Max // the true max is a tighter bound
+			}
+			return b.Upper
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,185 @@
+package obsv
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lcg is a tiny deterministic generator so the tests never depend on seed
+// files or wall clocks.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	// Linear region: singleton buckets.
+	for v := uint64(0); v < histSub; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		if got := bucketUpper(int(v)); got != v {
+			t.Fatalf("bucketUpper(%d) = %d, want %d", v, got, v)
+		}
+	}
+
+	check := func(v uint64) {
+		t.Helper()
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, idx, histBuckets)
+		}
+		up := bucketUpper(idx)
+		if v > up {
+			t.Fatalf("value %d above its bucket upper %d (idx %d)", v, up, idx)
+		}
+		if idx > 0 {
+			if lo := bucketUpper(idx - 1); v <= lo {
+				t.Fatalf("value %d at or below previous bucket upper %d (idx %d)", v, lo, idx)
+			}
+		}
+	}
+
+	// Octave boundaries and their neighbours across the whole range.
+	for shift := uint(histSubBits); shift < 63; shift++ {
+		base := uint64(1) << shift
+		for _, v := range []uint64{base - 1, base, base + 1} {
+			check(v)
+		}
+	}
+	check(math.MaxInt64)
+
+	// Dense sweep over small values plus random probes over the full range.
+	for v := uint64(0); v < 1<<12; v++ {
+		check(v)
+	}
+	rng := lcg(7)
+	for i := 0; i < 10000; i++ {
+		check(rng.next() & math.MaxInt64)
+	}
+
+	// Upper bounds must be strictly increasing.
+	prev := bucketUpper(0)
+	for idx := 1; idx < histBuckets; idx++ {
+		up := bucketUpper(idx)
+		if up <= prev {
+			t.Fatalf("bucketUpper not increasing at %d: %d <= %d", idx, up, prev)
+		}
+		prev = up
+	}
+}
+
+// TestHistogramQuantileVsExact checks the documented error bound: the
+// log-linear scheme's quantile is the upper bound of the sample's bucket,
+// at most 1/histSub = 12.5% above the exact order statistic.
+func TestHistogramQuantileVsExact(t *testing.T) {
+	h := NewHistogram()
+	var exact []time.Duration
+	rng := lcg(42)
+	for i := 0; i < 20000; i++ {
+		// 1µs .. ~67ms, roughly log-uniform.
+		d := time.Duration(1000 + rng.next()%(1<<uint(10+rng.next()%17)))
+		h.Observe(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+
+	s := h.Snapshot()
+	if s.Count != uint64(len(exact)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(exact))
+	}
+	if s.Max != exact[len(exact)-1] {
+		t.Fatalf("max = %v, want %v", s.Max, exact[len(exact)-1])
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		rank := int(q * float64(len(exact)))
+		if rank >= len(exact) {
+			rank = len(exact) - 1
+		}
+		want := exact[rank]
+		got := s.Quantile(q)
+		if got < want {
+			t.Fatalf("q=%v: estimate %v below exact %v", q, got, want)
+		}
+		limit := want + want/histSub // ≤ 12.5% relative overestimate
+		if got > limit {
+			t.Fatalf("q=%v: estimate %v above %v (exact %v + 12.5%%)", q, got, limit, want)
+		}
+	}
+
+	var sum time.Duration
+	for _, d := range exact {
+		sum += d
+	}
+	if s.Sum != sum {
+		t.Fatalf("sum = %v, want %v", s.Sum, sum)
+	}
+	if mean := s.Mean(); mean != sum/time.Duration(len(exact)) {
+		t.Fatalf("mean = %v, want %v", mean, sum/time.Duration(len(exact)))
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-time.Second) // clamps to zero
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("snapshot = %+v, want 2 zero samples", s)
+	}
+	if q := s.Quantile(0.99); q != 0 {
+		t.Fatalf("quantile of zeros = %v, want 0", q)
+	}
+}
+
+func TestHistogramNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot count = %d", s.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := lcg(seed)
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.next() % uint64(time.Second)))
+			}
+		}(uint64(w + 1))
+	}
+	// Concurrent snapshots must stay internally consistent (bucket sum does
+	// not exceed count seen after).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := h.Snapshot()
+			var bucketTotal uint64
+			for _, b := range s.Buckets {
+				bucketTotal += b.Count
+			}
+			if bucketTotal > workers*per {
+				t.Errorf("bucket total %d exceeds total observations", bucketTotal)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("final count = %d, want %d", s.Count, workers*per)
+	}
+}

@@ -1,0 +1,126 @@
+package obsv
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalRecordAndWrap(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(Event{Kind: EventWALRotation, Seq: uint64(i)})
+	}
+	if got := j.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	events := j.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (oldest first)", i, e.Seq, want)
+		}
+		if e.At.IsZero() {
+			t.Fatalf("event %d missing auto timestamp", i)
+		}
+	}
+}
+
+func TestJournalCountKind(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(Event{Kind: EventViewChangeSent, View: 1})
+	j.Record(Event{Kind: EventNewPrimary, View: 1})
+	j.Record(Event{Kind: EventViewChangeSent, View: 2})
+	if got := j.CountKind(EventViewChangeSent); got != 2 {
+		t.Fatalf("view-change count = %d, want 2", got)
+	}
+	if got := j.CountKind(EventRecovery); got != 0 {
+		t.Fatalf("recovery count = %d, want 0", got)
+	}
+}
+
+func TestJournalEventString(t *testing.T) {
+	e := Event{
+		At:     time.Date(2026, 8, 8, 12, 30, 45, 123e6, time.UTC),
+		Kind:   EventNewPrimary,
+		View:   3,
+		Seq:    42,
+		Node:   1,
+		Detail: "after timeout",
+	}
+	s := e.String()
+	for _, want := range []string{"12:30:45.123", "new-primary", "view=3", "seq=42", "after timeout"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event line %q missing %q", s, want)
+		}
+	}
+}
+
+func TestJournalEventJSON(t *testing.T) {
+	e := Event{Kind: EventStateTransfer, Seq: 7, Detail: "installed 3 blocks"}
+	e.At = time.Unix(100, 0)
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != e.Kind || back.Seq != e.Seq || back.Detail != e.Detail {
+		t.Fatalf("round trip = %+v, want %+v", back, e)
+	}
+	// omitempty keeps quiet fields out of the wire form.
+	if strings.Contains(string(raw), "view") {
+		t.Fatalf("zero view serialized: %s", raw)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(Event{Kind: EventRecovery})
+	if j.Events() != nil || j.Total() != 0 || j.CountKind(EventRecovery) != 0 {
+		t.Fatal("nil journal must report nothing")
+	}
+	j.RegisterOn(NewRegistry()) // must not panic
+}
+
+func TestJournalRegisterOn(t *testing.T) {
+	j := NewJournal(0)
+	r := NewRegistry()
+	j.RegisterOn(r)
+	j.Record(Event{Kind: EventWALRotation})
+	j.Record(Event{Kind: EventNewPrimary})
+	if v := r.Values(); v["zugchain_events_total"] != 2 {
+		t.Fatalf("zugchain_events_total = %v, want 2", v["zugchain_events_total"])
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Record(Event{Kind: EventWALRotation, Seq: uint64(w*200 + i)})
+				if i%32 == 0 {
+					j.Events()
+					j.Total()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := j.Total(); got != 8*200 {
+		t.Fatalf("total = %d, want %d", got, 8*200)
+	}
+	if got := len(j.Events()); got != 64 {
+		t.Fatalf("retained = %d, want 64", got)
+	}
+}

@@ -1,0 +1,153 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes an Observer over HTTP:
+//
+//	/metrics       Prometheus text exposition (all counter families +
+//	               per-phase latency histograms)
+//	/statusz       JSON snapshot (uptime, every metric, histogram summary)
+//	/tracez        last-N record lifecycle traces + slow-record log (text)
+//	/eventz        consensus event journal (text, ?json=1 for JSON)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// The server is read-only and unauthenticated: bind it to localhost or an
+// operations network, as with any pprof endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the export server on addr (e.g. "127.0.0.1:9100").
+func Serve(addr string, o *Observer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: Handler(o), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler builds the export mux for an observer (exposed separately so
+// tests and embedding daemons can mount it).
+func Handler(o *Observer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(statusSnapshot(o))
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		writeTracez(w, o.Tracer)
+	})
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, r *http.Request) {
+		events := o.Journal.Events()
+		if r.URL.Query().Get("json") != "" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(events)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%d events (%d total recorded)\n", len(events), o.Journal.Total())
+		for _, e := range events {
+			fmt.Fprintln(w, e)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "zugchain observability: /metrics /statusz /tracez /eventz /debug/pprof/\n")
+	})
+	return mux
+}
+
+// histStatus summarizes one histogram for /statusz.
+type histStatus struct {
+	Count uint64  `json:"count"`
+	Mean  string  `json:"mean"`
+	P50   string  `json:"p50"`
+	P99   string  `json:"p99"`
+	Max   string  `json:"max"`
+	SumS  float64 `json:"sum_seconds"`
+}
+
+func statusSnapshot(o *Observer) map[string]any {
+	values := o.Registry.Values()
+	ordered := make(map[string]float64, len(values))
+	for _, k := range sortedKeys(values) {
+		ordered[k] = values[k]
+	}
+	hists := make(map[string]histStatus)
+	for _, name := range o.Registry.Histograms() {
+		s, ok := o.Registry.Histogram(name)
+		if !ok {
+			continue
+		}
+		hists[name] = histStatus{
+			Count: s.Count,
+			Mean:  s.Mean().String(),
+			P50:   s.Quantile(0.5).String(),
+			P99:   s.Quantile(0.99).String(),
+			Max:   s.Max.String(),
+			SumS:  s.Sum.Seconds(),
+		}
+	}
+	return map[string]any{
+		"uptime":     o.Uptime().String(),
+		"metrics":    ordered,
+		"histograms": hists,
+	}
+}
+
+func writeTracez(w http.ResponseWriter, t *Tracer) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if t == nil {
+		fmt.Fprintln(w, "tracing disabled")
+		return
+	}
+	traces := t.Traces()
+	fmt.Fprintf(w, "%d traces retained (%d completed, %d evicted)\n\n",
+		len(traces), t.Completed(), t.Evicted())
+	fmt.Fprintln(w, "seq       digest    total      phases (latency from previous phase)")
+	for i := len(traces) - 1; i >= 0; i-- { // newest first
+		tr := traces[i]
+		fmt.Fprintf(w, "%-9d %x  %-10v %s\n",
+			tr.Seq, tr.Digest[:4], tr.Total().Round(time.Microsecond), tr.phaseSummary())
+	}
+	slow, total := t.SlowTraces()
+	if total > 0 {
+		fmt.Fprintf(w, "\n%d slow records (last %d retained):\n", total, len(slow))
+		for i := len(slow) - 1; i >= 0; i-- {
+			tr := slow[i]
+			fmt.Fprintf(w, "%-9d %x  %-10v %s\n",
+				tr.Seq, tr.Digest[:4], tr.Total().Round(time.Microsecond), tr.phaseSummary())
+		}
+	}
+}

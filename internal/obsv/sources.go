@@ -1,0 +1,138 @@
+package obsv
+
+import (
+	"runtime"
+
+	"zugchain/internal/metrics"
+)
+
+// This file adapts every existing counter family to registry sources. Each
+// Register* helper installs one named source whose closure snapshots the
+// family's atomics on demand — registration happens once at wiring time,
+// scrapes pay only the atomic loads.
+
+// RegisterCore registers the communication layer's counters (Fig 6/7's
+// message and request accounting).
+func RegisterCore(r *Registry, c *metrics.Counters) {
+	r.Register("core", func() []Metric {
+		s := c.Snapshot()
+		return []Metric{
+			{Name: "zugchain_core_msgs_sent_total", Help: "Layer messages sent", Value: float64(s.MsgsSent)},
+			{Name: "zugchain_core_msgs_received_total", Help: "Layer messages received", Value: float64(s.MsgsReceived)},
+			{Name: "zugchain_core_bytes_sent_total", Help: "Layer bytes sent", Value: float64(s.BytesSent)},
+			{Name: "zugchain_core_bytes_received_total", Help: "Layer bytes received", Value: float64(s.BytesReceived)},
+			{Name: "zugchain_core_signatures_total", Help: "Signatures generated", Value: float64(s.Signatures)},
+			{Name: "zugchain_core_verifications_total", Help: "Signatures verified", Value: float64(s.Verifications)},
+			{Name: "zugchain_core_ordered_total", Help: "Requests ordered and logged", Value: float64(s.Requests)},
+			{Name: "zugchain_core_duplicates_total", Help: "Duplicate requests filtered", Value: float64(s.Duplicates)},
+		}
+	})
+}
+
+// RegisterBatch registers the primary's request-coalescing counters.
+func RegisterBatch(r *Registry, b *metrics.BatchCounters) {
+	r.Register("batch", func() []Metric {
+		s := b.Snapshot()
+		return []Metric{
+			{Name: "zugchain_batch_flushes_total", Help: "Proposal batches flushed", Value: float64(s.Flushes)},
+			{Name: "zugchain_batch_records_total", Help: "Records carried by flushed batches", Value: float64(s.Records)},
+			{Name: "zugchain_batch_size_flushes_total", Help: "Flushes triggered by the size limit", Value: float64(s.SizeFlushes)},
+			{Name: "zugchain_batch_delay_flushes_total", Help: "Flushes triggered by the delay timer", Value: float64(s.DelayFlushes)},
+			{Name: "zugchain_batch_max_size", Help: "Largest single flush", Kind: KindGauge, Value: float64(s.MaxSize)},
+			{Name: "zugchain_batch_wait_max_seconds", Help: "Longest batching wait", Kind: KindGauge, Value: s.WaitMax.Seconds()},
+		}
+	})
+}
+
+// RegisterPool registers the verification pipeline's counters.
+func RegisterPool(r *Registry, snap func() metrics.PoolSnapshot) {
+	r.Register("pool", func() []Metric {
+		s := snap()
+		return []Metric{
+			{Name: "zugchain_pool_offloaded_total", Help: "Tasks run on pool workers", Value: float64(s.Offloaded)},
+			{Name: "zugchain_pool_inline_total", Help: "Tasks run inline on the submitter", Value: float64(s.Inline)},
+			{Name: "zugchain_pool_panics_total", Help: "Task panics contained by workers", Value: float64(s.Panics)},
+			{Name: "zugchain_pool_queue_depth", Help: "Instantaneous task queue depth", Kind: KindGauge, Value: float64(s.QueueDepth)},
+			{Name: "zugchain_pool_queue_peak", Help: "Peak task queue depth", Kind: KindGauge, Value: float64(s.QueuePeak)},
+			{Name: "zugchain_pool_task_max_seconds", Help: "Longest task submit-to-completion latency", Kind: KindGauge, Value: s.TaskMax.Seconds()},
+		}
+	})
+}
+
+// RegisterCrypto registers the Ed25519 acceleration counters (batch
+// verification shape, verified-signature cache traffic).
+func RegisterCrypto(r *Registry, c *metrics.CryptoCounters) {
+	r.Register("crypto", func() []Metric {
+		s := c.Snapshot()
+		return []Metric{
+			{Name: "zugchain_crypto_scalar_verifies_total", Help: "Individual signature verifications", Value: float64(s.ScalarVerifies)},
+			{Name: "zugchain_crypto_batched_sigs_total", Help: "Signatures settled via batch equations", Value: float64(s.BatchedSigs)},
+			{Name: "zugchain_crypto_batch_ops_total", Help: "Batch equations evaluated", Value: float64(s.BatchOps)},
+			{Name: "zugchain_crypto_batch_max", Help: "Largest single batch equation", Kind: KindGauge, Value: float64(s.BatchMax)},
+			{Name: "zugchain_crypto_bisections_total", Help: "Bisection splits hunting corrupt signatures", Value: float64(s.Bisections)},
+			{Name: "zugchain_crypto_cache_hits_total", Help: "Verified-signature cache hits", Value: float64(s.CacheHits)},
+			{Name: "zugchain_crypto_cache_misses_total", Help: "Verified-signature cache misses", Value: float64(s.CacheMisses)},
+			{Name: "zugchain_crypto_cache_evictions_total", Help: "Verified-signature cache evictions", Value: float64(s.CacheEvictions)},
+		}
+	})
+}
+
+// RegisterNet registers a transport's outbound-pipeline counters.
+func RegisterNet(r *Registry, n *metrics.NetCounters) {
+	r.Register("net", func() []Metric {
+		s := n.Snapshot()
+		return []Metric{
+			{Name: "zugchain_net_enqueued_total", Help: "Frames accepted into send queues", Value: float64(s.Enqueued)},
+			{Name: "zugchain_net_drops_total", Help: "Frames dropped by queue overflow", Value: float64(s.Drops)},
+			{Name: "zugchain_net_write_errors_total", Help: "Frames lost to failed connection writes", Value: float64(s.WriteErrors)},
+			{Name: "zugchain_net_write_ops_total", Help: "Write syscalls issued", Value: float64(s.WriteOps)},
+			{Name: "zugchain_net_frames_total", Help: "Frames carried by write syscalls", Value: float64(s.Frames)},
+			{Name: "zugchain_net_redials_total", Help: "Background reconnection attempts", Value: float64(s.Redials)},
+			{Name: "zugchain_net_queue_depth", Help: "Instantaneous outbound backlog", Kind: KindGauge, Value: float64(s.QueueDepth)},
+			{Name: "zugchain_net_queue_peak", Help: "Peak outbound backlog", Kind: KindGauge, Value: float64(s.QueuePeak)},
+		}
+	})
+}
+
+// RegisterWAL registers the consensus write-ahead log's counters.
+func RegisterWAL(r *Registry, w *metrics.WALCounters) {
+	r.Register("wal", func() []Metric {
+		s := w.Snapshot()
+		return []Metric{
+			{Name: "zugchain_wal_groups_total", Help: "Fsynced WAL append groups", Value: float64(s.Groups)},
+			{Name: "zugchain_wal_records_total", Help: "Records carried by append groups", Value: float64(s.Records)},
+			{Name: "zugchain_wal_bytes_total", Help: "Payload bytes appended", Value: float64(s.Bytes)},
+			{Name: "zugchain_wal_rotations_total", Help: "Checkpoint-triggered segment rotations", Value: float64(s.Rotations)},
+			{Name: "zugchain_wal_replayed_total", Help: "Records replayed by recovery on open", Value: float64(s.Replayed)},
+			{Name: "zugchain_wal_truncated_bytes_total", Help: "Corrupt tail bytes discarded by recovery", Value: float64(s.TruncatedBytes)},
+		}
+	})
+}
+
+// RegisterGroupCommit registers the blockchain store's group-commit writer
+// counters.
+func RegisterGroupCommit(r *Registry, g *metrics.GroupCommitCounters) {
+	r.Register("store", func() []Metric {
+		s := g.Snapshot()
+		return []Metric{
+			{Name: "zugchain_store_groups_total", Help: "Fsynced block write groups", Value: float64(s.Groups)},
+			{Name: "zugchain_store_blocks_total", Help: "Blocks covered by write groups", Value: float64(s.Blocks)},
+			{Name: "zugchain_store_syncs_total", Help: "Explicit Sync barriers", Value: float64(s.Syncs)},
+		}
+	})
+}
+
+// RegisterRuntime registers Go runtime gauges (the paper's memory proxy,
+// Fig 7) plus goroutine count.
+func RegisterRuntime(r *Registry) {
+	r.Register("runtime", func() []Metric {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return []Metric{
+			{Name: "zugchain_go_heap_alloc_bytes", Help: "Live heap bytes", Kind: KindGauge, Value: float64(ms.HeapAlloc)},
+			{Name: "zugchain_go_total_alloc_bytes", Help: "Cumulative heap bytes allocated", Value: float64(ms.TotalAlloc)},
+			{Name: "zugchain_go_gc_total", Help: "Completed GC cycles", Value: float64(ms.NumGC)},
+			{Name: "zugchain_go_goroutines", Help: "Live goroutines", Kind: KindGauge, Value: float64(runtime.NumGoroutine())},
+		}
+	})
+}

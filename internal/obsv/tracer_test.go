@@ -1,0 +1,215 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"zugchain/internal/crypto"
+)
+
+func digestFor(i int) crypto.Digest {
+	return crypto.Hash([]byte(fmt.Sprintf("record-%d", i)))
+}
+
+func TestTracerLifecycleJoin(t *testing.T) {
+	tr := NewTracer(TracerOptions{Ring: 8})
+	d := digestFor(1)
+
+	tr.BeginRecord(d)
+	tr.StampRecord(d, PhaseBatch)
+	tr.StampSlot(7, PhasePrePrepare)
+	tr.StampSlot(7, PhasePrepare)
+	tr.StampSlot(7, PhaseCommit)
+	tr.FinishRecord(d, 7)
+	tr.Fsync(7)
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Digest != d || got.Seq != 7 {
+		t.Fatalf("trace identity = (%x, %d), want (%x, 7)", got.Digest[:4], got.Seq, d[:4])
+	}
+	for p := PhaseIngest; p < numPhases; p++ {
+		if got.Times[p].IsZero() {
+			t.Fatalf("phase %v not stamped", p)
+		}
+	}
+	// Stamps must be monotonically non-decreasing in pipeline order.
+	for p := PhaseBatch; p < numPhases; p++ {
+		if got.Times[p].Before(got.Times[p-1]) {
+			t.Fatalf("phase %v (%v) before %v (%v)", p, got.Times[p], p-1, got.Times[p-1])
+		}
+	}
+	if got.Total() <= 0 {
+		t.Fatalf("total = %v, want > 0", got.Total())
+	}
+	if s := tr.TotalSnapshot(); s.Count != 1 {
+		t.Fatalf("total histogram count = %d, want 1", s.Count)
+	}
+	if s := tr.PhaseSnapshot(PhaseFsync); s.Count != 1 {
+		t.Fatalf("fsync histogram count = %d, want 1", s.Count)
+	}
+}
+
+func TestTracerFirstWriteWins(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	d := digestFor(2)
+	tr.BeginRecord(d)
+	tr.StampRecord(d, PhaseBatch)
+	first := time.Now()
+	time.Sleep(time.Millisecond)
+	tr.StampRecord(d, PhaseBatch) // retransmission: must not move the stamp
+	tr.FinishRecord(d, 1)
+	got := tr.Traces()[0]
+	if got.Times[PhaseBatch].After(first) {
+		t.Fatalf("batch stamp moved by re-stamp: %v after %v", got.Times[PhaseBatch], first)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	const ring = 4
+	tr := NewTracer(TracerOptions{Ring: ring})
+	const total = 11
+	for i := 0; i < total; i++ {
+		d := digestFor(100 + i)
+		tr.BeginRecord(d)
+		tr.FinishRecord(d, uint64(i))
+	}
+	if got := tr.Completed(); got != total {
+		t.Fatalf("completed = %d, want %d", got, total)
+	}
+	traces := tr.Traces()
+	if len(traces) != ring {
+		t.Fatalf("retained %d traces, want %d", len(traces), ring)
+	}
+	// Oldest-first: the retained window is the last `ring` finishes.
+	for i, trc := range traces {
+		want := uint64(total - ring + i)
+		if trc.Seq != want {
+			t.Fatalf("trace %d seq = %d, want %d", i, trc.Seq, want)
+		}
+	}
+	// Fsync after wraparound must skip overwritten ring entries without
+	// stamping the wrong trace.
+	tr.Fsync(total)
+	for _, trc := range tr.Traces() {
+		if trc.Times[PhaseFsync].IsZero() {
+			t.Fatalf("live trace seq=%d missed its fsync stamp", trc.Seq)
+		}
+	}
+}
+
+func TestTracerSlowLog(t *testing.T) {
+	tr := NewTracer(TracerOptions{Ring: 8, Slow: time.Nanosecond})
+	tr.logSlow = false // keep the test log quiet; counting still runs
+	for i := 0; i < 3; i++ {
+		d := digestFor(200 + i)
+		tr.BeginRecord(d)
+		time.Sleep(10 * time.Microsecond) // total > 0 so the threshold fires
+		tr.FinishRecord(d, uint64(i))
+	}
+	slow, total := tr.SlowTraces()
+	if total != 3 || len(slow) != 3 {
+		t.Fatalf("slow = (%d retained, %d total), want (3, 3)", len(slow), total)
+	}
+}
+
+func TestTracerOpenEvictionBound(t *testing.T) {
+	tr := NewTracer(TracerOptions{Ring: 4})
+	const extra = 64
+	for i := 0; i < maxOpenRecords+extra; i++ {
+		tr.BeginRecord(digestFor(1000 + i))
+	}
+	tr.mu.Lock()
+	open := len(tr.open)
+	tr.mu.Unlock()
+	if open > maxOpenRecords {
+		t.Fatalf("open records = %d, exceeds bound %d", open, maxOpenRecords)
+	}
+	if ev := tr.Evicted(); ev < extra {
+		t.Fatalf("evicted = %d, want >= %d", ev, extra)
+	}
+	// An evicted (oldest) record finishing later is simply unknown: no
+	// panic, no trace.
+	tr.FinishRecord(digestFor(1000), 1)
+	if got := tr.Completed(); got != 0 {
+		t.Fatalf("completed = %d after finishing an evicted record, want 0", got)
+	}
+}
+
+func TestTracerSlotEvictionBound(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	for i := 0; i < maxOpenSlots+32; i++ {
+		tr.StampSlot(uint64(i), PhasePrePrepare)
+	}
+	tr.mu.Lock()
+	slots := len(tr.slots)
+	tr.mu.Unlock()
+	if slots > maxOpenSlots {
+		t.Fatalf("open slots = %d, exceeds bound %d", slots, maxOpenSlots)
+	}
+}
+
+func TestTracerUnknownDigestIgnored(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	tr.FinishRecord(digestFor(9999), 1) // never begun (e.g. state transfer)
+	if got := tr.Completed(); got != 0 {
+		t.Fatalf("completed = %d, want 0", got)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	d := digestFor(3)
+	tr.BeginRecord(d)
+	tr.StampRecord(d, PhaseBatch)
+	tr.StampSlot(1, PhaseCommit)
+	tr.FinishRecord(d, 1)
+	tr.Fsync(1)
+	if tr.Traces() != nil || tr.Completed() != 0 || tr.Evicted() != 0 {
+		t.Fatal("nil tracer must report nothing")
+	}
+	if s, n := tr.SlowTraces(); s != nil || n != 0 {
+		t.Fatal("nil tracer must have no slow traces")
+	}
+	if s := tr.TotalSnapshot(); s.Count != 0 {
+		t.Fatal("nil tracer snapshot must be empty")
+	}
+}
+
+// TestTracerConcurrent exercises the full stamp surface from many
+// goroutines; run under -race this is the data-race check for the tracer.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(TracerOptions{Ring: 64, Slow: time.Hour})
+	const workers = 8
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d := digestFor(w*per + i)
+				seq := uint64(w*per + i)
+				tr.BeginRecord(d)
+				tr.StampRecord(d, PhaseBatch)
+				tr.StampSlot(seq, PhasePrePrepare)
+				tr.StampSlot(seq, PhaseCommit)
+				tr.FinishRecord(d, seq)
+				if i%64 == 0 {
+					tr.Fsync(seq)
+					tr.Traces()
+					tr.TotalSnapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Completed(); got != workers*per {
+		t.Fatalf("completed = %d, want %d", got, workers*per)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"zugchain/internal/clock"
 	"zugchain/internal/crypto"
+	"zugchain/internal/obsv"
 	"zugchain/internal/transport"
 	"zugchain/internal/wire"
 )
@@ -53,6 +54,13 @@ type RunnerConfig struct {
 	// and delivering, but a replica that cannot log its votes must not
 	// cast them.
 	Persister Persister
+	// Tracer, when non-nil, receives slot-level lifecycle stamps (the
+	// preprepare/prepared/committed transitions of each agreement slot) for
+	// the observability layer. Nil disables the stamps.
+	Tracer *obsv.Tracer
+	// Journal, when non-nil, records consensus events (view changes,
+	// primary elections, persist failures) for /eventz.
+	Journal *obsv.Journal
 }
 
 // Runner owns an Engine and pumps it: inbound transport messages, local
@@ -302,6 +310,26 @@ func (r *Runner) persistBatch(actions []Action) []PersistRecord {
 	return recs
 }
 
+// traceOutbound maps an outbound protocol vote to the slot-lifecycle stamp
+// it implies: a PrePrepare leaving means the primary opened the slot, a
+// Prepare leaving means this replica accepted the slot's preprepare, and a
+// Commit leaving means the slot gathered its prepared certificate. Stamps
+// are slot-keyed; the tracer joins them into record traces at delivery.
+func (r *Runner) traceOutbound(msg wire.Message) {
+	switch m := msg.(type) {
+	case *PrePrepare:
+		r.cfg.Tracer.StampSlot(m.Seq, obsv.PhasePrePrepare)
+	case *Prepare:
+		r.cfg.Tracer.StampSlot(m.Seq, obsv.PhasePrePrepare)
+	case *Commit:
+		r.cfg.Tracer.StampSlot(m.Seq, obsv.PhasePrepare)
+	case *ViewChange:
+		r.cfg.Journal.Record(obsv.Event{
+			Kind: obsv.EventViewChangeSent, View: m.NewView, Seq: m.StableSeq, Node: m.Replica,
+		})
+	}
+}
+
 // execute performs the engine's actions, feeding results of application
 // callbacks straight back into the engine. When a Persister is configured,
 // the batch's protocol records are made durable before any message is sent.
@@ -310,6 +338,10 @@ func (r *Runner) execute(actions []Action) {
 		if recs := r.persistBatch(actions); len(recs) > 0 {
 			if err := r.cfg.Persister.Persist(recs); err != nil {
 				r.persistBroken = true
+				r.cfg.Journal.Record(obsv.Event{
+					Kind:   obsv.EventPersistFailure,
+					Detail: "protocol WAL append failed; outbound votes muted: " + err.Error(),
+				})
 			}
 		}
 	}
@@ -319,13 +351,16 @@ func (r *Runner) execute(actions []Action) {
 			if r.persistBroken {
 				continue
 			}
+			r.traceOutbound(act.Msg)
 			_ = r.tr.Send(act.To, encodeAction(act.Msg, act.Encoded))
 		case BroadcastAction:
 			if r.persistBroken {
 				continue
 			}
+			r.traceOutbound(act.Msg)
 			_ = r.tr.Broadcast(encodeAction(act.Msg, act.Encoded))
 		case DeliverAction:
+			r.cfg.Tracer.StampSlot(act.Seq, obsv.PhaseCommit)
 			r.app.Deliver(act.Seq, act.Req)
 		case CheckpointNeededAction:
 			digest := r.app.CheckpointDigest(act.Seq)
@@ -333,6 +368,9 @@ func (r *Runner) execute(actions []Action) {
 		case StableCheckpointAction:
 			r.app.StableCheckpoint(act.Proof)
 		case NewPrimaryAction:
+			r.cfg.Journal.Record(obsv.Event{
+				Kind: obsv.EventNewPrimary, View: act.View, Node: act.Primary,
+			})
 			r.app.NewPrimary(act.View, act.Primary)
 		case StartViewTimerAction:
 			if r.viewTimer != nil {

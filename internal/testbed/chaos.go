@@ -10,6 +10,7 @@ import (
 	"zugchain/internal/crypto"
 	"zugchain/internal/mvb"
 	"zugchain/internal/node"
+	"zugchain/internal/obsv"
 	"zugchain/internal/pbft"
 	"zugchain/internal/transport"
 )
@@ -124,6 +125,22 @@ type ChaosResult struct {
 	// FaultStats aggregates the injected network faults per replica index
 	// (final incarnation).
 	FaultStats []transport.FaultStats
+	// Journals holds each replica's consensus event journal at teardown
+	// (nil for replicas dead at the end) — what /eventz would have served.
+	Journals [][]obsv.Event
+}
+
+// CountEvents tallies journal events of one kind across all replicas.
+func (r *ChaosResult) CountEvents(kind obsv.EventKind) int {
+	n := 0
+	for _, events := range r.Journals {
+		for _, e := range events {
+			if e.Kind == kind {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // chaosCluster is the mutable run state of RunChaos.
@@ -316,6 +333,12 @@ func runChaosInto(s ChaosScenario, c *chaosCluster) (*ChaosResult, error) {
 	for i, f := range c.faulty {
 		if f != nil {
 			res.FaultStats[i] = f.Stats()
+		}
+	}
+	res.Journals = make([][]obsv.Event, s.Nodes)
+	for i, n := range c.nodes {
+		if n != nil {
+			res.Journals[i] = n.Obs().Journal.Events()
 		}
 	}
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"zugchain/internal/obsv"
 	"zugchain/internal/transport"
 )
 
@@ -88,6 +89,17 @@ func TestChaosBackupCrashRestartWithPartitions(t *testing.T) {
 	if injected == 0 {
 		t.Error("fault injector was configured but injected nothing")
 	}
+	// The restarted backup's journal must carry its recovery event — the
+	// evidence /eventz would show an operator after the crash.
+	found := false
+	for _, e := range res.Journals[3] {
+		if e.Kind == obsv.EventRecovery {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("restarted backup journaled no recovery event: %v", res.Journals[3])
+	}
 }
 
 // TestChaosPrimaryCrashRestart kills the view-0 primary. The backups view-
@@ -105,5 +117,25 @@ func TestChaosPrimaryCrashRestart(t *testing.T) {
 	checkChaosInvariants(t, res, 3)
 	if len(res.Restarts) != 1 {
 		t.Fatalf("expected 1 restart, got %d", len(res.Restarts))
+	}
+	// Killing the view-0 primary forces the backups through a view change:
+	// the journals must record the ViewChange broadcasts and the resulting
+	// primary election (a new-primary event with View > 0).
+	if got := res.CountEvents(obsv.EventViewChangeSent); got == 0 {
+		t.Error("no replica journaled a view-change-sent event after the primary died")
+	}
+	elected := false
+	for _, events := range res.Journals {
+		for _, e := range events {
+			if e.Kind == obsv.EventNewPrimary && e.View > 0 {
+				elected = true
+			}
+		}
+	}
+	if !elected {
+		t.Errorf("no replica journaled a primary election beyond view 0; journals: %v", res.Journals)
+	}
+	if got := res.CountEvents(obsv.EventRecovery); got == 0 {
+		t.Error("restarted primary journaled no recovery event")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zugchain/internal/crypto"
+	"zugchain/internal/metrics"
 )
 
 // FaultConfig parameterizes a Faulty transport wrapper, mirroring
@@ -186,6 +187,15 @@ func (f *Faulty) Heal(ids ...crypto.NodeID) {
 	for _, id := range ids {
 		delete(f.blocked, id)
 	}
+}
+
+// NetCounters implements NetStats by passing through to the wrapped
+// transport's counters, so chaos runs still export net metrics.
+func (f *Faulty) NetCounters() *metrics.NetCounters {
+	if ns, ok := f.inner.(NetStats); ok {
+		return ns.NetCounters()
+	}
+	return nil
 }
 
 // Stats returns the injected-fault counters.

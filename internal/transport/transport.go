@@ -17,6 +17,7 @@ import (
 	"errors"
 
 	"zugchain/internal/crypto"
+	"zugchain/internal/metrics"
 )
 
 // ErrClosed is returned by operations on a closed transport.
@@ -66,4 +67,12 @@ type Transport interface {
 // buffered frames toward the wire immediately; it does not wait for them.
 type Flusher interface {
 	Flush()
+}
+
+// NetStats is optionally implemented by transports that keep outbound
+// pipeline counters (TCP, the in-process Endpoint, and wrappers that pass
+// through to one). The observability layer discovers the counters through
+// this interface so it can export them without knowing the concrete type.
+type NetStats interface {
+	NetCounters() *metrics.NetCounters
 }
